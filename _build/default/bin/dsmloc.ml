@@ -1,0 +1,276 @@
+(* dsmloc: command-line front end for the locality analysis pipeline.
+
+     dsmloc list
+     dsmloc analyze  <code> [--size N] [--procs H]
+     dsmloc lcg      <code> [--size N] [--procs H]
+     dsmloc solve    <code> [--size N] [--procs H]
+     dsmloc simulate <code> [--size N] [--procs H] [--baseline]
+     dsmloc sweep    <code> [--size N]
+     dsmloc file     <path.dsm> [--procs H] [--env K=V,K=V]
+*)
+
+open Cmdliner
+
+let code_arg =
+  let doc =
+    Printf.sprintf "Benchmark code to analyze (%s)."
+      (String.concat ", " Codes.Registry.names)
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CODE" ~doc)
+
+let size_arg =
+  let doc = "Problem-size knob (code-specific exponent)." in
+  Arg.(value & opt (some int) None & info [ "size"; "s" ] ~docv:"N" ~doc)
+
+let procs_arg =
+  let doc = "Number of processors H." in
+  Arg.(value & opt int 4 & info [ "procs"; "H" ] ~docv:"H" ~doc)
+
+let baseline_arg =
+  let doc = "Use the naive BLOCK / owner-computes baseline plan." in
+  Arg.(value & flag & info [ "baseline" ] ~doc)
+
+let with_entry name size f =
+  match Codes.Registry.find name with
+  | entry ->
+      let size = Option.value size ~default:entry.default_size in
+      f entry (entry.env_of_size size)
+  | exception Not_found ->
+      Printf.eprintf "unknown code %S; try: %s\n" name
+        (String.concat ", " Codes.Registry.names);
+      exit 1
+
+let run_pipeline entry env h =
+  Core.Pipeline.run entry.Codes.Registry.program ~env ~h
+
+let list_cmd =
+  let f () =
+    List.iter
+      (fun (e : Codes.Registry.entry) ->
+        Printf.printf "%-10s (default size %d): %d phases, arrays %s\n" e.name
+          e.default_size
+          (List.length e.program.phases)
+          (String.concat ", "
+             (List.map
+                (fun (a : Ir.Types.array_decl) -> a.name)
+                e.program.arrays)))
+      Codes.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available benchmark codes.")
+    Term.(const f $ const ())
+
+let analyze_cmd =
+  let f name size h =
+    with_entry name size (fun entry env ->
+        let t = run_pipeline entry env h in
+        Format.printf "%a@." Core.Pipeline.report t)
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Full pipeline report: LCG, model, solution, plan.")
+    Term.(const f $ code_arg $ size_arg $ procs_arg)
+
+let lcg_cmd =
+  let f name size h =
+    with_entry name size (fun entry env ->
+        let lcg = Locality.Lcg.build entry.program ~env ~h in
+        Format.printf "%a@." Locality.Lcg.pp lcg)
+  in
+  Cmd.v (Cmd.info "lcg" ~doc:"Print the Locality-Communication Graph.")
+    Term.(const f $ code_arg $ size_arg $ procs_arg)
+
+let solve_cmd =
+  let f name size h =
+    with_entry name size (fun entry env ->
+        let t = run_pipeline entry env h in
+        Format.printf "%a@.@." Ilp.Model.pp t.model;
+        Format.printf "objective %.1f (D %.1f + C %.1f)@." t.solution.objective
+          t.solution.d_cost t.solution.c_cost;
+        Format.printf "%a@." Ilp.Distribution.pp t.plan)
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Print the Table-2 constraint model and the solved distribution.")
+    Term.(const f $ code_arg $ size_arg $ procs_arg)
+
+let simulate_cmd =
+  let f name size h baseline =
+    with_entry name size (fun entry env ->
+        let t = run_pipeline entry env h in
+        let r =
+          if baseline then Core.Pipeline.simulate_baseline t
+          else Core.Pipeline.simulate t
+        in
+        Format.printf "%a@." Dsmsim.Exec.pp r)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Replay the code on the DSM machine model.")
+    Term.(const f $ code_arg $ size_arg $ procs_arg $ baseline_arg)
+
+let sweep_cmd =
+  let f name size =
+    with_entry name size (fun entry env ->
+        Printf.printf "%4s %12s %12s\n" "H" "LCG eff" "BLOCK eff";
+        List.iter
+          (fun h ->
+            let t = run_pipeline entry env h in
+            let eff, base = Core.Pipeline.efficiency t in
+            Printf.printf "%4d %11.1f%% %11.1f%%\n%!" h (100. *. eff)
+              (100. *. base))
+          [ 1; 2; 4; 8; 16; 32; 64 ])
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Efficiency sweep over processor counts.")
+    Term.(const f $ code_arg $ size_arg)
+
+let table1_cmd =
+  let f () = Format.printf "%a" Locality.Table1.pp_grid () in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Print the paper's Table 1 edge classification.")
+    Term.(const f $ const ())
+
+let stability_cmd =
+  let f name =
+    with_entry name None (fun entry _env ->
+        let t = Locality.Stability.analyze entry.program in
+        Format.printf "@[<v>%a@]@." Locality.Stability.pp t;
+        Format.printf "all edges stable: %b@." (Locality.Stability.all_stable t))
+  in
+  Cmd.v
+    (Cmd.info "stability"
+       ~doc:"LCG label stability across sampled sizes and machine widths.")
+    Term.(const f $ code_arg)
+
+let validate_cmd =
+  let f name size h =
+    with_entry name size (fun entry env ->
+        let t = run_pipeline entry env h in
+        let rounds = if entry.program.repeats then 2 else 1 in
+        let r = Dsmsim.Validate.run ~rounds t.lcg t.plan in
+        Format.printf "%a@." Dsmsim.Validate.pp r;
+        if not (Dsmsim.Validate.ok r) then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Replay with versioned memory: certify every read is fresh.")
+    Term.(const f $ code_arg $ size_arg $ procs_arg)
+
+let report_cmd =
+  let f name size h =
+    with_entry name size (fun entry env ->
+        let t = run_pipeline entry env h in
+        print_string (Core.Report.markdown t))
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Full markdown analysis report.")
+    Term.(const f $ code_arg $ size_arg $ procs_arg)
+
+let spmd_cmd =
+  let f name size h =
+    with_entry name size (fun entry env ->
+        let t = run_pipeline entry env h in
+        print_string (Codegen.Spmd.generate t.lcg t.plan t.machine))
+  in
+  Cmd.v
+    (Cmd.info "spmd" ~doc:"Emit the SPMD pseudo-code the plan implies.")
+    Term.(const f $ code_arg $ size_arg $ procs_arg)
+
+let dot_cmd =
+  let f name size h =
+    with_entry name size (fun entry env ->
+        let lcg = Locality.Lcg.build entry.program ~env ~h in
+        print_string (Locality.Lcg.to_dot lcg))
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit the LCG as Graphviz (pipe into `dot -Tsvg`).")
+    Term.(const f $ code_arg $ size_arg $ procs_arg)
+
+let comm_cmd =
+  let f name size h =
+    with_entry name size (fun entry env ->
+        let t = run_pipeline entry env h in
+        let sched = Dsmsim.Comm.generate t.lcg t.plan in
+        Format.printf "%a@." Dsmsim.Comm.pp sched;
+        Format.printf
+          "total: %d messages, %d words (%d redistribution events, %d frontier events)@."
+          (Dsmsim.Comm.message_count sched)
+          (Dsmsim.Comm.total_words sched)
+          (List.length (Dsmsim.Comm.redistributions sched))
+          (List.length (Dsmsim.Comm.frontiers sched)))
+  in
+  Cmd.v
+    (Cmd.info "comm"
+       ~doc:"Print the generated single-sided communication schedule.")
+    Term.(const f $ code_arg $ size_arg $ procs_arg)
+
+let file_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Surface-language program (.dsm; see lib/frontend/parse.mli).")
+  in
+  let env_arg =
+    let doc = "Comma-separated parameter bindings, e.g. N=32,M=16." in
+    Arg.(value & opt string "" & info [ "env"; "e" ] ~docv:"BINDINGS" ~doc)
+  in
+  let autopar_arg =
+    let doc =
+      "Ignore doall markings and derive parallel loops automatically."
+    in
+    Arg.(value & flag & info [ "autopar" ] ~doc)
+  in
+  let f path h bindings autopar =
+    match Frontend.Parse.program_file path with
+    | exception Frontend.Parse.Error { line; message } ->
+        Printf.eprintf "%s:%d: %s\n" path line message;
+        exit 1
+    | prog ->
+        let prog =
+          if autopar then
+            Ir.Autopar.mark (Ir.Autopar.recognize_reductions prog)
+          else prog
+        in
+        let env =
+          if bindings = "" then
+            (* default: midpoint of each declared parameter range *)
+            List.fold_left
+              (fun env (v, d) ->
+                match d with
+                | Symbolic.Assume.Int_range (lo, hi) ->
+                    Symbolic.Env.add v ((lo + hi) / 2) env
+                | Symbolic.Assume.Pow2_of w ->
+                    Symbolic.Env.add v (1 lsl Symbolic.Env.find env w) env
+                | Symbolic.Assume.Expr_range _ -> env)
+              Symbolic.Env.empty
+              (Symbolic.Assume.to_list prog.params)
+          else
+            String.split_on_char ',' bindings
+            |> List.fold_left
+                 (fun env kv ->
+                   match String.split_on_char '=' kv with
+                   | [ k; v ] -> Symbolic.Env.add k (int_of_string v) env
+                   | _ ->
+                       Printf.eprintf "bad binding %S\n" kv;
+                       exit 1)
+                 Symbolic.Env.empty
+        in
+        let t = Core.Pipeline.run prog ~env ~h in
+        Format.printf "%a@.@." Core.Pipeline.report t;
+        let eff, base = Core.Pipeline.efficiency t in
+        Format.printf "Simulated efficiency: %.1f%% (LCG) vs %.1f%% (BLOCK)@."
+          (100. *. eff) (100. *. base)
+  in
+  Cmd.v
+    (Cmd.info "file"
+       ~doc:"Parse a surface-language program and run the full pipeline on it.")
+    Term.(const f $ path_arg $ procs_arg $ env_arg $ autopar_arg)
+
+let () =
+  let info =
+    Cmd.info "dsmloc" ~version:"1.0.0"
+      ~doc:
+        "Access-descriptor-based locality analysis for DSM multiprocessors \
+         (Navarro, Asenjo, Zapata, Padua; ICPP'99)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; analyze_cmd; lcg_cmd; solve_cmd; simulate_cmd; sweep_cmd; comm_cmd; dot_cmd; spmd_cmd; report_cmd; table1_cmd; stability_cmd; validate_cmd; file_cmd ]))

@@ -1,0 +1,1 @@
+examples/full_compiler.ml: Array Codegen Core Dsmsim Format Frontend Ir List Symbolic

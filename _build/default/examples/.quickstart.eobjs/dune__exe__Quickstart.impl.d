@@ -1,0 +1,1 @@
+examples/quickstart.ml: Assume Core Descriptor Dsmsim Env Format Ir List Symbolic

@@ -1,0 +1,1 @@
+examples/reshape_interproc.ml: Assume Core Env Expr Format Inline Ir List Locality String Symbolic Types

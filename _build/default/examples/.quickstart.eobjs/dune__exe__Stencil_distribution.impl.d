@@ -1,0 +1,1 @@
+examples/stencil_distribution.ml: Array Codes Core Descriptor Dsmsim Format Ilp Intra Ir Lcg List Locality Sys

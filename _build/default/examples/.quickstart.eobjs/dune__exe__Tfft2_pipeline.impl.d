@@ -1,0 +1,1 @@
+examples/tfft2_pipeline.ml: Ard Array Bounds Coalesce Codes Core Descriptor Env Expr Format Id Ir List Pd Region String Symbolic Sys Unionize

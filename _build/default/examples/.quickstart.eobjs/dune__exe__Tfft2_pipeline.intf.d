@@ -1,0 +1,1 @@
+examples/tfft2_pipeline.mli:

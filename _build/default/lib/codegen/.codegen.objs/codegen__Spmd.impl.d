@@ -1,0 +1,1 @@
+lib/codegen/spmd.ml: Array Cost Distribution Dsmsim Expr Format Frontend Ilp Ir Lcg List Locality Printf Symbolic

@@ -1,0 +1,1 @@
+lib/codegen/spmd.mli: Format Ilp Locality

@@ -1,0 +1,124 @@
+open Symbolic
+open Locality
+open Ilp
+
+let expr = Frontend.Unparse.expr
+
+let pp_ref ppf (r : Ir.Types.array_ref) =
+  Format.fprintf ppf "%s(%a)" r.array
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       expr)
+    r.index
+
+let rec pp_stmt plan phase_idx ppf (s : Ir.Types.stmt) =
+  match s with
+  | Ir.Types.Assign a ->
+      let reads, writes =
+        List.partition (fun (r : Ir.Types.array_ref) ->
+            Ir.Types.equal_access r.access Ir.Types.Read)
+          a.refs
+      in
+      List.iter
+        (fun w ->
+          Format.fprintf ppf "%a = %a@," pp_ref w
+            (fun ppf -> function
+              | [] -> Format.pp_print_string ppf "..."
+              | rs ->
+                  Format.pp_print_list
+                    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ")
+                    pp_ref ppf rs)
+            reads)
+        writes;
+      if writes = [] then
+        List.iter (fun r -> Format.fprintf ppf "... = %a@," pp_ref r) reads
+  | Ir.Types.Loop l when l.parallel ->
+      let p = plan.Distribution.chunk.(phase_idx) in
+      Format.fprintf ppf
+        "do %s_blk = %a + me*%d, %a, NPROC*%d   ! CYCLIC(%d) chunks of mine@,"
+        l.var expr l.lo p expr l.hi p p;
+      Format.fprintf ppf
+        "@[<v 2>do %s = %s_blk, min(%s_blk + %d, %a)@,%a@]@,end do@,end do@,"
+        l.var l.var l.var (p - 1) expr l.hi
+        (fun ppf body ->
+          List.iter (pp_stmt plan phase_idx ppf) body)
+        l.body
+  | Ir.Types.Loop l ->
+      Format.fprintf ppf "@[<v 2>do %s = %a, %a%s@,%a@]@,end do@," l.var expr
+        l.lo expr l.hi
+        (match Expr.to_int l.step with
+        | Some 1 -> ""
+        | _ -> Format.asprintf " step %a" expr l.step)
+        (fun ppf body ->
+          List.iter (pp_stmt plan phase_idx ppf) body)
+        l.body
+
+let pp_layout ppf (l : Distribution.layout) =
+  Format.fprintf ppf "%s: CYCLIC(%d) anchored at %d%s%s%s" l.array l.block
+    l.base
+    (match l.period with
+    | Some d -> Printf.sprintf ", copies every %d" d
+    | None -> "")
+    (match l.mirror with
+    | Some m -> Printf.sprintf ", mirrored at %d" m
+    | None -> "")
+    (if l.halo > 0 then Printf.sprintf ", ghost zone %d" l.halo else "")
+
+let pp ppf ((lcg : Lcg.t), (plan : Distribution.plan), (m : Cost.machine)) =
+  let sched = Dsmsim.Comm.generate lcg plan in
+  Format.fprintf ppf
+    "@[<v>! SPMD code generated from the LCG-derived distribution@,\
+     ! program %s on %d processors (me = 0..%d)@,@,"
+    lcg.prog.prog_name plan.h (plan.h - 1);
+  List.iteri
+    (fun k (ph : Ir.Types.phase) ->
+      (* communication entering this phase *)
+      List.iter
+        (fun ev ->
+          match ev with
+          | Dsmsim.Comm.Redistribute { array; before_phase; messages }
+            when before_phase = k ->
+              Format.fprintf ppf
+                "call redistribute_%s()   ! %d aggregated puts, %d words@,@,"
+                array (List.length messages)
+                (List.fold_left
+                   (fun a (msg : Dsmsim.Comm.message) -> a + msg.words)
+                   0 messages)
+          | _ -> ())
+        sched;
+      (* layouts newly in force *)
+      List.iter
+        (fun (l : Distribution.layout) ->
+          if l.first_phase = k then
+            Format.fprintf ppf "! layout %a@," pp_layout l)
+        plan.layouts;
+      (* privatized arrays *)
+      List.iter
+        (fun (pk, a) ->
+          if pk = k then
+            Format.fprintf ppf "! %s privatized: each processor uses a local copy@," a)
+        plan.privatized;
+      Format.fprintf ppf "@[<v 2>subroutine phase_%s(me)@,%a@]@,end subroutine@,"
+        ph.phase_name
+        (fun ppf () -> pp_stmt plan k ppf (Ir.Types.Loop ph.nest))
+        ();
+      (* frontier updates leaving this phase *)
+      List.iter
+        (fun ev ->
+          match ev with
+          | Dsmsim.Comm.Frontier { array; after_phase; messages }
+            when after_phase = k ->
+              Format.fprintf ppf
+                "call frontier_update_%s()   ! %d boundary puts, %d words@,"
+                array (List.length messages)
+                (List.fold_left
+                   (fun a (msg : Dsmsim.Comm.message) -> a + msg.words)
+                   0 messages)
+          | _ -> ())
+        sched;
+      Format.fprintf ppf "@,")
+    lcg.prog.phases;
+  ignore m;
+  Format.fprintf ppf "@]"
+
+let generate lcg plan m = Format.asprintf "%a" pp (lcg, plan, m)

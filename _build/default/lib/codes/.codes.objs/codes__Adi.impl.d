@@ -1,0 +1,1 @@
+lib/codes/adi.ml: Assume Env Expr Ir Symbolic

@@ -1,0 +1,1 @@
+lib/codes/adi.mli: Assume Env Ir Symbolic

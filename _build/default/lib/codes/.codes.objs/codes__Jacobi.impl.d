@@ -1,0 +1,1 @@
+lib/codes/jacobi.ml: Assume Env Expr Ir Symbolic

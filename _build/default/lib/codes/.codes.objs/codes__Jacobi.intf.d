@@ -1,0 +1,1 @@
+lib/codes/jacobi.mli: Assume Env Ir Symbolic

@@ -1,0 +1,1 @@
+lib/codes/matmul.ml: Assume Env Expr Ir Symbolic

@@ -1,0 +1,1 @@
+lib/codes/matmul.mli: Assume Env Ir Symbolic

@@ -1,0 +1,1 @@
+lib/codes/mgrid.ml: Assume Env Ir Symbolic

@@ -1,0 +1,1 @@
+lib/codes/mgrid.mli: Assume Env Ir Symbolic

@@ -1,0 +1,1 @@
+lib/codes/redblack.ml: Assume Env Ir Symbolic

@@ -1,0 +1,1 @@
+lib/codes/redblack.mli: Assume Env Ir Symbolic

@@ -1,0 +1,1 @@
+lib/codes/registry.ml: Adi Env Ir Jacobi List Matmul Mgrid Redblack String Swim Symbolic Tfft2 Tomcatv Trisolve

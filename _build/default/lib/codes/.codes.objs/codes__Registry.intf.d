@@ -1,0 +1,1 @@
+lib/codes/registry.mli: Env Ir Symbolic

@@ -1,0 +1,1 @@
+lib/codes/swim.ml: Assume Env Expr Ir Symbolic

@@ -1,0 +1,1 @@
+lib/codes/swim.mli: Assume Env Ir Symbolic

@@ -1,0 +1,1 @@
+lib/codes/tfft2.ml: Assume Build Env Ir Symbolic

@@ -1,0 +1,1 @@
+lib/codes/tfft2.mli: Assume Env Ir Symbolic

@@ -1,0 +1,1 @@
+lib/codes/tomcatv.ml: Assume Env Expr Ir Symbolic

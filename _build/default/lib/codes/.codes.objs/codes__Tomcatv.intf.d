@@ -1,0 +1,1 @@
+lib/codes/tomcatv.mli: Assume Env Ir Symbolic

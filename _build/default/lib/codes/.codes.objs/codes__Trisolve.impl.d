@@ -1,0 +1,1 @@
+lib/codes/trisolve.ml: Assume Env Expr Ir Symbolic

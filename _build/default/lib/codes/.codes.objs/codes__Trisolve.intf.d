@@ -1,0 +1,1 @@
+lib/codes/trisolve.mli: Assume Env Ir Symbolic

@@ -1,0 +1,48 @@
+open Symbolic
+open Ir.Build
+
+let params = Assume.of_list [ ("N", Assume.Int_range (8, 64)) ]
+
+let nN = var "N"
+let at r c = (r + (nN * c) : Expr.t)
+
+(* Column sweep: parallel over columns, forward recurrence down the
+   rows of each column (sequential inner loop). *)
+let phase_col =
+  phase "COLSWEEP"
+    (doall "c" ~lo:(int 0) ~hi:(nN - int 1)
+       [
+         do_ "r" ~lo:(int 1) ~hi:(nN - int 1)
+           [
+             assign ~work:6
+               [
+                 read "U" [ at (var "r" - int 1) (var "c") ];
+                 read "U" [ at (var "r") (var "c") ];
+                 write "U" [ at (var "r") (var "c") ];
+               ];
+           ];
+       ])
+
+(* Row sweep: parallel over rows, recurrence along the columns of each
+   row - N-strided accesses. *)
+let phase_row =
+  phase "ROWSWEEP"
+    (doall "r" ~lo:(int 0) ~hi:(nN - int 1)
+       [
+         do_ "c" ~lo:(int 1) ~hi:(nN - int 1)
+           [
+             assign ~work:6
+               [
+                 read "U" [ at (var "r") (var "c" - int 1) ];
+                 read "U" [ at (var "r") (var "c") ];
+                 write "U" [ at (var "r") (var "c") ];
+               ];
+           ];
+       ])
+
+let program =
+  program ~repeats:true ~name:"adi" ~params
+    ~arrays:[ array "U" [ nN * nN ] ]
+    [ phase_col; phase_row ]
+
+let env ~n = Env.of_list [ ("N", n) ]

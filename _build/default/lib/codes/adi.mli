@@ -1,0 +1,19 @@
+(** ADI (Alternating Direction Implicit) sweep: the classic
+    redistribution workload.
+
+    A timestep alternates a row-direction sweep and a column-direction
+    sweep over the same N x N grid.  In column-major storage the column
+    sweep (parallel over columns, recurrence down each column) accesses
+    contiguous blocks, while the row sweep (parallel over rows,
+    recurrence along each row) accesses N-strided rows: no single
+    static distribution serves both, so the LCG necessarily contains C
+    edges and the ILP must weigh a per-timestep transpose-style
+    redistribution against remote accesses - the situation the paper's
+    Global-communication machinery exists for. *)
+
+open Symbolic
+open Ir.Types
+
+val params : Assume.t
+val program : program
+val env : n:int -> Env.t

@@ -1,0 +1,47 @@
+open Symbolic
+open Ir.Build
+
+let params = Assume.of_list [ ("N", Assume.Int_range (8, 64)) ]
+
+let nN = var "N"
+
+let grid r c = (r + (nN * c) : Expr.t)
+
+let phase_sweep =
+  phase "SWEEP"
+    (doall "c" ~lo:(int 1) ~hi:(nN - int 2)
+       [
+         do_ "r" ~lo:(int 1) ~hi:(nN - int 2)
+           [
+             assign ~work:5
+               [
+                 read "U" [ grid (var "r") (var "c" - int 1) ];
+                 read "U" [ grid (var "r") (var "c" + int 1) ];
+                 read "U" [ grid (var "r" - int 1) (var "c") ];
+                 read "U" [ grid (var "r" + int 1) (var "c") ];
+                 read "U" [ grid (var "r") (var "c") ];
+                 write "V" [ grid (var "r") (var "c") ];
+               ];
+           ];
+       ])
+
+let phase_copy =
+  phase "COPY"
+    (doall "c" ~lo:(int 1) ~hi:(nN - int 2)
+       [
+         do_ "r" ~lo:(int 1) ~hi:(nN - int 2)
+           [
+             assign ~work:1
+               [
+                 read "V" [ grid (var "r") (var "c") ];
+                 write "U" [ grid (var "r") (var "c") ];
+               ];
+           ];
+       ])
+
+let program =
+  program ~repeats:true ~name:"jacobi2d" ~params
+    ~arrays:[ array "U" [ nN * nN ]; array "V" [ nN * nN ] ]
+    [ phase_sweep; phase_copy ]
+
+let env ~n = Env.of_list [ ("N", n) ]

@@ -1,0 +1,17 @@
+(** Jacobi 2-D relaxation: the canonical stencil workload.
+
+    Two phases inside a timestep loop (the program {e repeats}, so the
+    LCG is cyclic): F1 computes [V <- avg(U)] over interior columns
+    with a 5-point stencil - its U reads exhibit {e overlapping
+    storage} (ghost columns) while staying read-only (Theorem 1c); F2
+    copies V back into U.  Both phases parallelize over columns of the
+    column-major N x N grid, so the balanced condition gives
+    [p1 = p2] after offset adjustment, and the whole cycle is a single
+    L chain per array. *)
+
+open Symbolic
+open Ir.Types
+
+val params : Assume.t
+val program : program
+val env : n:int -> Env.t

@@ -1,0 +1,57 @@
+open Symbolic
+open Ir.Build
+
+let params = Assume.of_list [ ("N", Assume.Int_range (4, 24)) ]
+
+let nN = var "N"
+let at r c = (r + (nN * c) : Expr.t)
+
+(* Parallel over columns j of C: C(:,j) = A * B(:,j). *)
+let phase_init =
+  phase "INIT"
+    (doall "j" ~lo:(int 0) ~hi:(nN - int 1)
+       [
+         do_ "i" ~lo:(int 0) ~hi:(nN - int 1)
+           [ assign ~work:1 [ write "C" [ at (var "i") (var "j") ] ] ];
+       ])
+
+let phase_mult =
+  phase "MULT"
+    (doall "j" ~lo:(int 0) ~hi:(nN - int 1)
+       [
+         do_ "k" ~lo:(int 0) ~hi:(nN - int 1)
+           [
+             do_ "i" ~lo:(int 0) ~hi:(nN - int 1)
+               [
+                 assign ~work:2
+                   [
+                     read "A" [ at (var "i") (var "k") ];
+                     read "B" [ at (var "k") (var "j") ];
+                     read "C" [ at (var "i") (var "j") ];
+                     write "C" [ at (var "i") (var "j") ];
+                   ];
+               ];
+           ];
+       ])
+
+let phase_scale =
+  phase "SCALE"
+    (doall "j" ~lo:(int 0) ~hi:(nN - int 1)
+       [
+         do_ "i" ~lo:(int 0) ~hi:(nN - int 1)
+           [
+             assign ~work:1
+               [
+                 read "C" [ at (var "i") (var "j") ];
+                 write "C" [ at (var "i") (var "j") ];
+               ];
+           ];
+       ])
+
+let program =
+  program ~name:"matmul" ~params
+    ~arrays:
+      [ array "A" [ nN * nN ]; array "B" [ nN * nN ]; array "C" [ nN * nN ] ]
+    [ phase_init; phase_mult; phase_scale ]
+
+let env ~n = Env.of_list [ ("N", n) ]

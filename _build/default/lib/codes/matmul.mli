@@ -1,0 +1,16 @@
+(** Blocked-row matrix multiply C = A * B with an init and a scale
+    phase.
+
+    Exercises the {e replicated} access pattern: every parallel
+    iteration j of MULT reads all of A (A's addresses are invariant
+    across the parallel loop), which the analysis reports as total
+    overlap; being read-only it still satisfies Theorem 1c and A is
+    simply replicated.  B and C are accessed by columns (column-major),
+    giving clean [p = p] chains INIT -> MULT -> SCALE for C. *)
+
+open Symbolic
+open Ir.Types
+
+val params : Assume.t
+val program : program
+val env : n:int -> Env.t

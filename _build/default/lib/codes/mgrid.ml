@@ -1,0 +1,73 @@
+open Symbolic
+open Ir.Build
+
+let params = Assume.of_list [ ("N", Assume.Int_range (16, 256)) ]
+
+let nN = var "N"
+
+let phase_smooth_fine =
+  phase "SMOOTHF"
+    (doall "i" ~lo:(int 1) ~hi:((int 2 * nN) - int 2)
+       [
+         assign ~work:4
+           [
+             read "FINE" [ var "i" - int 1 ];
+             read "FINE" [ var "i" ];
+             read "FINE" [ var "i" + int 1 ];
+             write "FTMP" [ var "i" ];
+           ];
+       ])
+
+let phase_restrict =
+  phase "RESTRICT"
+    (doall "i" ~lo:(int 1) ~hi:(nN - int 2)
+       [
+         assign ~work:4
+           [
+             read "FTMP" [ (int 2 * var "i") - int 1 ];
+             read "FTMP" [ int 2 * var "i" ];
+             read "FTMP" [ (int 2 * var "i") + int 1 ];
+             write "COARSE" [ var "i" ];
+           ];
+       ])
+
+let phase_smooth_coarse =
+  phase "SMOOTHC"
+    (doall "i" ~lo:(int 1) ~hi:(nN - int 2)
+       [
+         assign ~work:4
+           [
+             read "COARSE" [ var "i" - int 1 ];
+             read "COARSE" [ var "i" ];
+             read "COARSE" [ var "i" + int 1 ];
+             write "CTMP" [ var "i" ];
+           ];
+       ])
+
+let phase_prolong =
+  phase "PROLONG"
+    (doall "i" ~lo:(int 1) ~hi:(nN - int 2)
+       [
+         assign ~work:6
+           [
+             read "CTMP" [ var "i" ];
+             read "CTMP" [ var "i" + int 1 ];
+             read "FTMP" [ int 2 * var "i" ];
+             read "FTMP" [ (int 2 * var "i") + int 1 ];
+             write "FINE" [ int 2 * var "i" ];
+             write "FINE" [ (int 2 * var "i") + int 1 ];
+           ];
+       ])
+
+let program =
+  program ~repeats:true ~name:"mgrid" ~params
+    ~arrays:
+      [
+        array "FINE" [ int 2 * nN ];
+        array "FTMP" [ int 2 * nN ];
+        array "COARSE" [ nN ];
+        array "CTMP" [ nN ];
+      ]
+    [ phase_smooth_fine; phase_restrict; phase_smooth_coarse; phase_prolong ]
+
+let env ~n = Env.of_list [ ("N", n) ]

@@ -1,0 +1,13 @@
+(** MGRID-like multigrid V-cycle slice: smooth on the fine grid,
+    restrict fine -> coarse (stride-2 reads against stride-1 writes,
+    so the balanced condition couples chunk sizes as [p_f = 2 p_c]),
+    smooth on the coarse grid, and prolongate coarse -> fine.
+    One-dimensional grids keep the strides front and center. *)
+
+open Symbolic
+open Ir.Types
+
+val params : Assume.t
+val program : program
+val env : n:int -> Env.t
+(** [n] is the coarse size; the fine grid has [2n] points. *)

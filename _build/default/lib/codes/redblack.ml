@@ -1,0 +1,38 @@
+open Symbolic
+open Ir.Build
+
+let params = Assume.of_list [ ("N", Assume.Int_range (8, 128)) ]
+
+let nN = var "N"
+
+(* grid of 2N cells; red = even positions, black = odd *)
+let phase_red =
+  phase "RED"
+    (doall "i" ~lo:(int 1) ~hi:(nN - int 1)
+       [
+         assign ~work:4
+           [
+             read "G" [ (int 2 * var "i") - int 1 ];
+             read "G" [ (int 2 * var "i") + int 1 ];
+             write "G" [ int 2 * var "i" ];
+           ];
+       ])
+
+let phase_black =
+  phase "BLACK"
+    (doall "i" ~lo:(int 0) ~hi:(nN - int 2)
+       [
+         assign ~work:4
+           [
+             read "G" [ int 2 * var "i" ];
+             read "G" [ (int 2 * var "i") + int 2 ];
+             write "G" [ (int 2 * var "i") + int 1 ];
+           ];
+       ])
+
+let program =
+  program ~repeats:true ~name:"redblack" ~params
+    ~arrays:[ array "G" [ int 2 * nN ] ]
+    [ phase_red; phase_black ]
+
+let env ~n = Env.of_list [ ("N", n) ]

@@ -1,0 +1,18 @@
+(** Red-black Gauss-Seidel: strided-parity stencil phases.
+
+    Each half-sweep updates one parity class of a 1-D grid in place
+    from the other class: the RED phase writes even cells reading their
+    odd neighbours, BLACK the reverse.  Parallel loops run over the
+    parity index (stride-2 subscripts [2i], [2i+1]), exercising
+    non-unit parallel strides, in-place R/W phases whose reads and
+    writes interleave without overlapping, and a cyclic two-phase LCG
+    whose balanced relations are [2 p_R = 2 p_B] after offset
+    adjustment. *)
+
+open Symbolic
+open Ir.Types
+
+val params : Assume.t
+val program : program
+val env : n:int -> Env.t
+(** Grid of [2n] cells. *)

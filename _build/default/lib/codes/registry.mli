@@ -1,0 +1,21 @@
+(** The benchmark registry: the six codes of the evaluation, with a
+    uniform way to obtain a concrete parameter environment from one
+    size knob. *)
+
+open Symbolic
+open Ir.Types
+
+type entry = {
+  name : string;
+  program : program;
+  env_of_size : int -> Env.t;
+      (** interprets the knob per code: TFFT2 takes [p = q = size]
+          (array 2*4^size), grid codes take [N = 2^size] *)
+  default_size : int;
+}
+
+val all : entry list
+val find : string -> entry
+(** @raise Not_found for unknown names. *)
+
+val names : string list

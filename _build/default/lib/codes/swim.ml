@@ -1,0 +1,80 @@
+open Symbolic
+open Ir.Build
+
+let params = Assume.of_list [ ("N", Assume.Int_range (8, 64)) ]
+
+let nN = var "N"
+let at r c = (r + (nN * c) : Expr.t)
+
+let phase_calc1 =
+  phase "CALC1"
+    (doall "c" ~lo:(int 1) ~hi:(nN - int 2)
+       [
+         do_ "r" ~lo:(int 1) ~hi:(nN - int 2)
+           [
+             assign ~work:8
+               [
+                 read "P" [ at (var "r") (var "c") ];
+                 read "P" [ at (var "r") (var "c" - int 1) ];
+                 read "U" [ at (var "r") (var "c") ];
+                 read "U" [ at (var "r" - int 1) (var "c") ];
+                 write "CU" [ at (var "r") (var "c") ];
+               ];
+             assign ~work:8
+               [
+                 read "P" [ at (var "r") (var "c") ];
+                 read "V" [ at (var "r") (var "c") ];
+                 read "V" [ at (var "r") (var "c" - int 1) ];
+                 write "CV" [ at (var "r") (var "c") ];
+               ];
+           ];
+       ])
+
+let phase_calc2 =
+  phase "CALC2"
+    (doall "c" ~lo:(int 1) ~hi:(nN - int 2)
+       [
+         do_ "r" ~lo:(int 1) ~hi:(nN - int 2)
+           [
+             assign ~work:10
+               [
+                 read "CU" [ at (var "r") (var "c") ];
+                 read "CU" [ at (var "r") (var "c" + int 1) ];
+                 read "CV" [ at (var "r") (var "c") ];
+                 read "CV" [ at (var "r" + int 1) (var "c") ];
+                 read "P" [ at (var "r") (var "c") ];
+                 write "PNEW" [ at (var "r") (var "c") ];
+               ];
+           ];
+       ])
+
+let phase_calc3 =
+  phase "CALC3"
+    (doall "c" ~lo:(int 1) ~hi:(nN - int 2)
+       [
+         do_ "r" ~lo:(int 1) ~hi:(nN - int 2)
+           [
+             assign ~work:3
+               [
+                 read "PNEW" [ at (var "r") (var "c") ];
+                 write "P" [ at (var "r") (var "c") ];
+                 write "U" [ at (var "r") (var "c") ];
+                 write "V" [ at (var "r") (var "c") ];
+               ];
+           ];
+       ])
+
+let program =
+  program ~repeats:true ~name:"swim" ~params
+    ~arrays:
+      [
+        array "U" [ nN * nN ];
+        array "V" [ nN * nN ];
+        array "P" [ nN * nN ];
+        array "CU" [ nN * nN ];
+        array "CV" [ nN * nN ];
+        array "PNEW" [ nN * nN ];
+      ]
+    [ phase_calc1; phase_calc2; phase_calc3 ]
+
+let env ~n = Env.of_list [ ("N", n) ]

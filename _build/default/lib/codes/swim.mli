@@ -1,0 +1,16 @@
+(** SWIM-like shallow-water kernel: three coupled stencil phases over
+    U, V, P plus new-value arrays, inside a timestep loop.
+
+    CALC1 computes fluxes (CU, CV) from U, V, P with asymmetric
+    one-sided stencils; CALC2 updates P from the fluxes; CALC3 copies
+    the new fields back.  All phases are column-parallel with equal
+    strides, so after offset adjustment every inter-phase edge is L and
+    each array forms one cyclic chain - the all-local steady state the
+    paper's approach aims for, with frontier reads at chunk borders. *)
+
+open Symbolic
+open Ir.Types
+
+val params : Assume.t
+val program : program
+val env : n:int -> Env.t

@@ -1,0 +1,93 @@
+open Symbolic
+open Ir.Build
+
+let params = Assume.of_list [ ("N", Assume.Int_range (8, 64)) ]
+
+let nN = var "N"
+let at r c = (r + (nN * c) : Expr.t)
+
+let phase_resid =
+  phase "RESID"
+    (doall "c" ~lo:(int 1) ~hi:(nN - int 2)
+       [
+         do_ "r" ~lo:(int 1) ~hi:(nN - int 2)
+           [
+             assign ~work:12
+               [
+                 read "X" [ at (var "r") (var "c") ];
+                 read "X" [ at (var "r") (var "c" - int 1) ];
+                 read "X" [ at (var "r") (var "c" + int 1) ];
+                 read "X" [ at (var "r" - int 1) (var "c") ];
+                 read "X" [ at (var "r" + int 1) (var "c") ];
+                 write "RX" [ at (var "r") (var "c") ];
+               ];
+             assign ~work:12
+               [
+                 read "Y" [ at (var "r") (var "c") ];
+                 read "Y" [ at (var "r") (var "c" - int 1) ];
+                 read "Y" [ at (var "r") (var "c" + int 1) ];
+                 read "Y" [ at (var "r" - int 1) (var "c") ];
+                 read "Y" [ at (var "r" + int 1) (var "c") ];
+                 write "RY" [ at (var "r") (var "c") ];
+               ];
+           ];
+       ])
+
+(* The residual-norm reduction, parallelized the way Polaris does:
+   per-column partial maxima in parallel, then a short sequential
+   combine over the N partials. *)
+let phase_norm =
+  phase "NORM"
+    (doall "c" ~lo:(int 1) ~hi:(nN - int 2)
+       [
+         do_ "r" ~lo:(int 1) ~hi:(nN - int 2)
+           [
+             assign ~work:2
+               [
+                 read "RX" [ at (var "r") (var "c") ];
+                 read "RY" [ at (var "r") (var "c") ];
+                 write "PARTIAL" [ var "c" ];
+               ];
+           ];
+       ])
+
+(* Sequential combine: a genuinely serial phase (no parallel loop). *)
+let phase_combine =
+  phase "COMBINE"
+    (do_ "c" ~lo:(int 1) ~hi:(nN - int 2)
+       [ assign ~work:1 [ read "PARTIAL" [ var "c" ] ] ])
+
+let phase_update =
+  phase "UPDATE"
+    (doall "c" ~lo:(int 1) ~hi:(nN - int 2)
+       [
+         do_ "r" ~lo:(int 1) ~hi:(nN - int 2)
+           [
+             assign ~work:4
+               [
+                 read "RX" [ at (var "r") (var "c") ];
+                 read "X" [ at (var "r") (var "c") ];
+                 write "X" [ at (var "r") (var "c") ];
+               ];
+             assign ~work:4
+               [
+                 read "RY" [ at (var "r") (var "c") ];
+                 read "Y" [ at (var "r") (var "c") ];
+                 write "Y" [ at (var "r") (var "c") ];
+               ];
+           ];
+       ])
+
+let program =
+  program ~repeats:true ~name:"tomcatv" ~params
+    ~arrays:
+      [
+        array "X" [ nN * nN ];
+        array "Y" [ nN * nN ];
+        array "RX" [ nN * nN ];
+        array "RY" [ nN * nN ];
+        array "PARTIAL" [ nN ];
+      ]
+    [ phase_resid; phase_norm; phase_combine; phase_update ]
+
+let env ~n = Env.of_list [ ("N", n) ]

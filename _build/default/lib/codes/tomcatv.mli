@@ -1,0 +1,15 @@
+(** TOMCATV-like mesh generation sweep.
+
+    Exercises a phase {e without} a parallel loop: RESID computes
+    residuals (column-parallel 9-point stencil), NORM runs a purely
+    sequential reduction over the residual arrays (a phase whose nest
+    has no doall - the LCG node is iteration-invariant and the edge
+    into it can only be C), and UPDATE applies the correction
+    column-parallel.  Repeats. *)
+
+open Symbolic
+open Ir.Types
+
+val params : Assume.t
+val program : program
+val env : n:int -> Env.t

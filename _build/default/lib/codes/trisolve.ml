@@ -1,0 +1,40 @@
+open Symbolic
+open Ir.Build
+
+let params = Assume.of_list [ ("N", Assume.Int_range (6, 24)) ]
+
+let nN = var "N"
+let at r c = (r + (nN * c) : Expr.t)
+
+(* forward substitution structure: column j depends on rows 0..j *)
+let phase_solve =
+  phase "SOLVE"
+    (doall "j" ~lo:(int 0) ~hi:(nN - int 1)
+       [
+         do_ "r" ~lo:(int 0) ~hi:(var "j")
+           [
+             assign ~work:4
+               [
+                 read "L" [ at (var "r") (var "j") ];
+                 read "X" [ var "r" ];
+                 write "Y" [ at (var "r") (var "j") ];
+               ];
+           ];
+       ])
+
+(* consume the triangular result column-wise *)
+let phase_reduce =
+  phase "REDUCE"
+    (doall "j" ~lo:(int 0) ~hi:(nN - int 1)
+       [
+         do_ "r" ~lo:(int 0) ~hi:(var "j")
+           [ assign ~work:1 [ read "Y" [ at (var "r") (var "j") ] ] ];
+       ])
+
+let program =
+  program ~name:"trisolve" ~params
+    ~arrays:
+      [ array "L" [ nN * nN ]; array "X" [ nN ]; array "Y" [ nN * nN ] ]
+    [ phase_solve; phase_reduce ]
+
+let env ~n = Env.of_list [ ("N", n) ]

@@ -1,0 +1,18 @@
+(** Blocked triangular solve sweep: per-iteration regions that {e grow}
+    with the parallel index.
+
+    Each parallel iteration j of SOLVE updates column j of a lower
+    triangular matrix reading rows 0..j - a triangular footprint whose
+    per-iteration extent depends on the parallel index itself.  The
+    descriptor algebra represents this exactly (alpha contains the
+    parallel var), but no single CYCLIC(p) distribution balances it and
+    the balanced-locality machinery must answer conservatively: the
+    value of this kernel is exercising those give-up paths soundly
+    (labels degrade to C; the simulator still runs correctly). *)
+
+open Symbolic
+open Ir.Types
+
+val params : Assume.t
+val program : program
+val env : n:int -> Env.t

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Dsmsim Env Format Ilp Ir List Locality Printf Symbolic

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Dsmsim Env Format Ilp Ir Locality Symbolic

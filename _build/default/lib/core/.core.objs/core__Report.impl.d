@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Chain Dsmsim Format Ilp Lcg List Locality Pipeline Printf String Symbolic

@@ -1,0 +1,39 @@
+open Symbolic
+
+type t = {
+  prog : Ir.Types.program;
+  env : Env.t;
+  machine : Ilp.Cost.machine;
+  lcg : Locality.Lcg.t;
+  model : Ilp.Model.t;
+  solution : Ilp.Solve.result;
+  plan : Ilp.Distribution.plan;
+}
+
+let run ?machine prog ~env ~h =
+  let machine =
+    match machine with Some m -> m | None -> Ilp.Cost.default_machine ~h
+  in
+  let lcg = Locality.Lcg.build prog ~env ~h in
+  let model = Ilp.Model.of_lcg lcg in
+  let solution = Ilp.Solve.solve model machine in
+  let plan = Ilp.Distribution.of_solution lcg ~p:solution.p in
+  { prog; env; machine; lcg; model; solution; plan }
+
+let simulate t = Dsmsim.Exec.run t.lcg t.plan t.machine
+
+let simulate_baseline t =
+  Dsmsim.Exec.run t.lcg (Ilp.Distribution.block_plan t.lcg) t.machine
+
+let efficiency t =
+  ((simulate t).efficiency, (simulate_baseline t).efficiency)
+
+let report ppf t =
+  Format.fprintf ppf "@[<v>%a@,=== Constraint model (Table 2 form) ===@,%a@,"
+    Locality.Lcg.pp t.lcg Ilp.Model.pp t.model;
+  Format.fprintf ppf "=== Solution ===@,objective %.1f (D %.1f + C %.1f)%s@,"
+    t.solution.objective t.solution.d_cost t.solution.c_cost
+    (match t.solution.broken with
+    | [] -> ""
+    | b -> Printf.sprintf "  (%d violated locality rows)" (List.length b));
+  Format.fprintf ppf "%a@]" Ilp.Distribution.pp t.plan

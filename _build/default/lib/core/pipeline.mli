@@ -1,0 +1,34 @@
+(** End-to-end driver: the paper's whole tool-chain in one call.
+
+    [run] takes a program with Polaris-style pre-marked parallel loops,
+    a concrete parameter environment and a processor count, and
+    performs: descriptor construction and simplification, attribute and
+    privatizability analysis, intra/inter-phase locality analysis (the
+    LCG), constraint generation (Table 2), overhead minimization
+    (Eq. 7) and distribution planning.  [simulate] replays the program
+    on the DSM machine model under the derived plan;
+    [simulate_baseline] does the same under the naive BLOCK /
+    owner-computes plan for comparison. *)
+
+open Symbolic
+
+type t = {
+  prog : Ir.Types.program;
+  env : Env.t;
+  machine : Ilp.Cost.machine;
+  lcg : Locality.Lcg.t;
+  model : Ilp.Model.t;
+  solution : Ilp.Solve.result;
+  plan : Ilp.Distribution.plan;
+}
+
+val run : ?machine:Ilp.Cost.machine -> Ir.Types.program -> env:Env.t -> h:int -> t
+
+val simulate : t -> Dsmsim.Exec.run
+val simulate_baseline : t -> Dsmsim.Exec.run
+
+val efficiency : t -> float * float
+(** (LCG-plan efficiency, BLOCK-baseline efficiency). *)
+
+val report : Format.formatter -> t -> unit
+(** LCG, Table-2 model, solution, and plan, in order. *)

@@ -1,0 +1,1 @@
+lib/descriptor/access_mix.ml: Format Ir

@@ -1,0 +1,1 @@
+lib/descriptor/access_mix.mli: Format Ir

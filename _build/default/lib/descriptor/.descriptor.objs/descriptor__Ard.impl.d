@@ -1,0 +1,1 @@
+lib/descriptor/ard.ml: Access_mix Expr Format Ir Linearize List Option Phase Probe String Symbolic Types

@@ -1,0 +1,1 @@
+lib/descriptor/ard.mli: Access_mix Expr Format Ir Phase Symbolic

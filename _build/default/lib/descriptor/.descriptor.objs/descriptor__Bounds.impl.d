@@ -1,0 +1,1 @@
+lib/descriptor/bounds.ml: Expr Id List Option Probe Symbolic

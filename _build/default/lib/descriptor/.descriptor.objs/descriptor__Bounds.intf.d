@@ -1,0 +1,1 @@
+lib/descriptor/bounds.mli: Assume Expr Id Symbolic

@@ -1,0 +1,1 @@
+lib/descriptor/coalesce.ml: Assume Expr Fun Ir List Pd Probe Range Symbolic

@@ -1,0 +1,1 @@
+lib/descriptor/coalesce.mli: Ir Pd

@@ -1,0 +1,1 @@
+lib/descriptor/id.ml: Access_mix Expr Format Ir List Pd Symbolic

@@ -1,0 +1,1 @@
+lib/descriptor/id.mli: Access_mix Expr Format Ir Pd Symbolic

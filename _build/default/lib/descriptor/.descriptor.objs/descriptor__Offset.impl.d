@@ -1,0 +1,1 @@
+lib/descriptor/offset.ml: Expr List Pd Probe Symbolic

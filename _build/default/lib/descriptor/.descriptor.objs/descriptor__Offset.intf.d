@@ -1,0 +1,1 @@
+lib/descriptor/offset.mli: Expr Pd Symbolic

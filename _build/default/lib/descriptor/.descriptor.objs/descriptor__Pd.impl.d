@@ -1,0 +1,1 @@
+lib/descriptor/pd.ml: Access_mix Ard Expr Format Ir List Option Phase Printf Probe Symbolic

@@ -1,0 +1,1 @@
+lib/descriptor/pd.mli: Access_mix Assume Expr Format Ir Phase Symbolic

@@ -1,0 +1,1 @@
+lib/descriptor/region.ml: Env Expr Hashtbl List Pd Symbolic

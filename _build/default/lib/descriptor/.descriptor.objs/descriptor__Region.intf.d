@@ -1,0 +1,1 @@
+lib/descriptor/region.mli: Env Hashtbl Pd Symbolic

@@ -1,0 +1,1 @@
+lib/descriptor/symmetry.ml: Access_mix Env Expr Format Hashtbl Id Ir List Option Pd Probe String Symbolic

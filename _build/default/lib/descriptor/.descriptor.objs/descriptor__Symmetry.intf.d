@@ -1,0 +1,1 @@
+lib/descriptor/symmetry.mli: Expr Format Id Symbolic

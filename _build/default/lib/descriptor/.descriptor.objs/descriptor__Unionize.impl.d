@@ -1,0 +1,1 @@
+lib/descriptor/unionize.ml: Access_mix Coalesce Expr List Pd Probe String Symbolic

@@ -1,0 +1,1 @@
+lib/descriptor/unionize.mli: Pd

@@ -1,0 +1,18 @@
+type t = { reads : bool; writes : bool }
+
+let of_access = function
+  | Ir.Types.Read -> { reads = true; writes = false }
+  | Ir.Types.Write -> { reads = false; writes = true }
+
+let join a b = { reads = a.reads || b.reads; writes = a.writes || b.writes }
+let read_only t = t.reads && not t.writes
+let write_only t = t.writes && not t.reads
+let equal a b = a.reads = b.reads && a.writes = b.writes
+
+let pp ppf t =
+  Format.pp_print_string ppf
+    (match (t.reads, t.writes) with
+    | true, true -> "RW"
+    | true, false -> "R"
+    | false, true -> "W"
+    | false, false -> "-")

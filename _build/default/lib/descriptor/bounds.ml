@@ -1,0 +1,46 @@
+open Symbolic
+
+let fold_extreme ~keep_left exprs =
+  match exprs with
+  | [] -> None
+  | e :: rest ->
+      List.fold_left
+        (fun acc x ->
+          Option.bind acc (fun a ->
+              if keep_left a x then Some a
+              else if keep_left x a then Some x
+              else None))
+        (Some e) rest
+
+let lower_limit asm (id : Id.t) ~i =
+  Id.all_rows id
+  |> List.map (fun r -> Id.offset_at r ~i)
+  |> fold_extreme ~keep_left:(fun a x -> Probe.le asm a x)
+
+let upper_limit asm (id : Id.t) ~i =
+  Id.all_rows id
+  |> List.map (fun r -> Id.upper_at r ~i)
+  |> fold_extreme ~keep_left:(fun a x -> Probe.le asm x a)
+
+let upper_limit_chunk asm id ~i ~p =
+  let last = Expr.sub (Expr.add i p) Expr.one in
+  match (upper_limit asm id ~i, upper_limit asm id ~i:last) with
+  | Some a, Some b ->
+      if Probe.le asm a b then Some b
+      else if Probe.le asm b a then Some a
+      else None
+  | _ -> None
+
+let memory_gap (id : Id.t) =
+  let asm = id.ctx.assume in
+  match id.ctx.par with
+  | None -> None
+  | Some _ -> (
+      match (lower_limit asm id ~i:Expr.one, upper_limit asm id ~i:Expr.zero) with
+      | Some lb1, Some ul0 -> (
+          let raw = Expr.sub (Expr.sub lb1 ul0) Expr.one in
+          match Probe.sign asm raw with
+          | Some s when s >= 0 -> Some raw
+          | Some _ -> Some Expr.zero
+          | None -> None)
+      | _ -> None)

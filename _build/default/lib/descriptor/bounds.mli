@@ -1,0 +1,26 @@
+(** Upper limits and memory gaps (paper, Sec. 4.2, Fig. 8).
+
+    [UL(I^k(X,i))] is the farthest address of the sub-region that
+    iteration [i] touches; the {e memory gap} [h^k] is the number of
+    addresses skipped between the region of iteration [i] and that of
+    iteration [i+1].  Both are the symbolic building blocks of the
+    balanced locality condition: for an ID whose rows all advance in
+    the positive direction, [UL(I,i,p) + h = tau_min + (i+p)*delta_P - 1]
+    is linear in the chunk size [p]. *)
+
+open Symbolic
+
+val lower_limit : Assume.t -> Id.t -> i:Expr.t -> Expr.t option
+(** Probed minimum, over rows, of the region start at iteration [i]. *)
+
+val upper_limit : Assume.t -> Id.t -> i:Expr.t -> Expr.t option
+(** Probed maximum, over rows, of the region end at iteration [i]. *)
+
+val upper_limit_chunk : Assume.t -> Id.t -> i:Expr.t -> p:Expr.t -> Expr.t option
+(** [UL(I, i, p)]: farthest address over the chunk of [p] consecutive
+    iterations starting at [i] (the probed max of the two endpoint
+    iterations, covering decreasing rows). *)
+
+val memory_gap : Id.t -> Expr.t option
+(** [h^k >= 0]; [None] when rows are incomparable or the phase has no
+    parallel loop. *)

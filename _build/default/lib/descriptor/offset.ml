@@ -1,0 +1,31 @@
+open Symbolic
+
+let min2 asm a b = if Probe.le asm a b then a else b
+
+let min_offset (t : Pd.t) =
+  let asm = t.ctx.assume in
+  let offsets =
+    List.concat_map (fun (g : Pd.group) ->
+        List.map (fun (r : Pd.row) -> r.offset) g.rows)
+      t.groups
+  in
+  match offsets with
+  | [] -> None
+  | o :: rest -> Some (List.fold_left (min2 asm) o rest)
+
+let tau_min (pds : Pd.t list) =
+  match List.filter_map min_offset pds with
+  | [] -> None
+  | o :: rest -> (
+      match pds with
+      | t :: _ -> Some (List.fold_left (min2 t.ctx.assume) o rest)
+      | [] -> None)
+
+let adjust_distance (t : Pd.t) ~tau_min =
+  match (min_offset t, t.groups) with
+  | Some tau1, g :: _ -> (
+      match Pd.par_stride g with
+      | Some dp when not (Expr.is_zero dp) ->
+          Some (Expr.floor_div (Expr.sub tau1 tau_min) dp)
+      | _ -> None)
+  | _ -> None

@@ -1,0 +1,21 @@
+(** Offset adjustment (paper, Sec. 2.1).
+
+    Expresses the region of each PD relative to [tau_min], the smallest
+    offset any phase uses for the array, via the adjust distance
+    [R^k = floor((tau_1^k - tau_min) / delta_1^k)] - the number of
+    parallel-stride steps separating phase k's first sub-region from
+    the array base.  Inter-phase comparisons of upper limits are made
+    in this common frame. *)
+
+open Symbolic
+
+val min_offset : Pd.t -> Expr.t option
+(** Smallest row offset across the PD's groups (probed order);
+    [None] for an empty PD. *)
+
+val tau_min : Pd.t list -> Expr.t option
+(** Smallest offset across several same-array PDs. *)
+
+val adjust_distance : Pd.t -> tau_min:Expr.t -> Expr.t option
+(** [R^k] for one phase's PD: [floor((tau_1 - tau_min) / delta_par)].
+    [None] when the PD has no parallel stride or is empty. *)

@@ -1,0 +1,26 @@
+(** Concrete expansion of descriptors: the validation oracle.
+
+    Expands a (rectangular, constant-evaluable) PD group into the exact
+    set of flat addresses it denotes under a concrete environment -
+    either for one parallel iteration (an ID region) or for the whole
+    phase.  The test suite checks these sets against the direct IR
+    interpretation in {!Ir.Enumerate}, which is what makes the
+    descriptor algebra trustworthy without the paper's omitted proofs. *)
+
+open Symbolic
+
+exception Not_rectangular of string
+(** Raised when a dim's count or stride does not evaluate to a constant
+    under the environment (non-uniform dims that survived coalescing). *)
+
+val row_addresses :
+  Env.t -> Pd.group -> Pd.row -> par:int option -> (int, unit) Hashtbl.t -> unit
+(** Accumulate the addresses of one row.  [par = Some i] fixes the
+    parallel iteration; [None] sweeps all of them. *)
+
+val group_addresses : Env.t -> Pd.group -> par:int option -> (int, unit) Hashtbl.t
+
+val addresses : Env.t -> Pd.t -> par:int option -> (int, unit) Hashtbl.t
+(** Union over all groups and rows. *)
+
+val sorted : (int, unit) Hashtbl.t -> int list

@@ -1,0 +1,200 @@
+open Symbolic
+
+let set j x l = List.mapi (fun k y -> if k = j then x else y) l
+
+(* Try to merge row [b] into row [a] (offset of [a] <= offset of [b]).
+   Returns the merged row and possibly an extra dim to append. *)
+let merge_rows asm (g : Pd.group) (a : Pd.row) (b : Pd.row) :
+    (Pd.row * Pd.dim option) option =
+  let same_shape =
+    List.length a.alphas = List.length b.alphas
+    && List.for_all2 (fun x y -> Probe.equal asm x y) a.alphas b.alphas
+    && a.signs = b.signs
+  in
+  if not same_shape then begin
+    (* Containment: if row [a] is dense (its element count equals its
+       extent) and [b]'s region lies inside [a]'s with the same parallel
+       behaviour, [b] adds nothing - e.g. a workspace read covering a
+       prefix of the region the same iteration wrote. *)
+    let seq_idx = List.map fst (Pd.seq_dims g) in
+    let count_a =
+      List.fold_left
+        (fun acc i -> Expr.mul acc (List.nth a.alphas i))
+        Expr.one seq_idx
+    in
+    let span_a = Pd.row_span_seq g a and span_b = Pd.row_span_seq g b in
+    let dense_a = Probe.equal asm (Expr.add span_a Expr.one) count_a in
+    let same_par =
+      Pd.par_sign a g = Pd.par_sign b g
+      (* group dims are shared, so parallel strides already agree *)
+    in
+    if
+      dense_a && same_par
+      && Probe.nonneg asm (Expr.sub b.offset a.offset)
+      && Probe.le asm (Expr.add b.offset span_b) (Expr.add a.offset span_a)
+    then
+      Some ({ a with Pd.mix = Access_mix.join a.mix b.mix; phis = a.phis @ b.phis }, None)
+    else None
+  end
+  else
+    let delta = Expr.sub b.offset a.offset in
+    let joined =
+      { a with Pd.mix = Access_mix.join a.mix b.mix; phis = a.phis @ b.phis }
+    in
+    if Probe.is_zero asm delta then Some (joined, None)
+    else if not (Probe.nonneg asm delta) then None
+    else
+      let span = Pd.row_span_seq g a in
+      match Pd.finest_seq asm g with
+      | Some (f, fine) ->
+          let alpha_f = List.nth a.alphas f in
+          let span_f = Expr.mul (Expr.sub alpha_f Expr.one) fine.stride in
+          if
+            Probe.divides asm fine.stride delta
+            && Probe.le asm delta (Expr.add span_f fine.stride)
+          then
+            let alpha_f' = Expr.add (Expr.div delta fine.stride) alpha_f in
+            Some ({ joined with Pd.alphas = set f alpha_f' joined.Pd.alphas }, None)
+          else if Probe.le asm delta (Expr.add span fine.stride) then
+            (* Aggregate as a fresh 2-element dimension. *)
+            Some
+              ( { joined with Pd.alphas = joined.Pd.alphas @ [ Expr.int 2 ];
+                  signs = joined.signs @ [ 1 ] },
+                Some { Pd.stride = delta; vars = []; uniform = true } )
+          else None
+      | None ->
+          (* Scalar rows: aggregate adjacent elements as a new dim. *)
+          if Probe.le asm delta Expr.one then
+            Some
+              ( { joined with Pd.alphas = joined.Pd.alphas @ [ Expr.int 2 ];
+                  signs = joined.signs @ [ 1 ] },
+                Some { Pd.stride = delta; vars = []; uniform = true } )
+          else None
+
+let union_group asm (g : Pd.group) : Pd.group =
+  (* Sort rows by offset (probed), then fold-merge neighbours.  A merge
+     that appends a dimension restructures the group, so we restart
+     after each successful merge. *)
+  let sorted_rows g =
+    List.sort
+      (fun (a : Pd.row) (b : Pd.row) ->
+        if Expr.equal a.offset b.offset then 0
+        else if Probe.le asm a.offset b.offset then -1
+        else 1)
+      g.Pd.rows
+  in
+  let rec pass (g : Pd.group) =
+    let rows = sorted_rows g in
+    let rec scan acc = function
+      | a :: b :: rest -> (
+          let attempt =
+            match merge_rows asm g a b with
+            | Some r -> Some r
+            | None -> merge_rows asm g b a
+          in
+          match attempt with
+          | Some (merged, None) ->
+              Some { g with rows = List.rev_append acc (merged :: rest) }
+          | Some (merged, Some extra_dim) ->
+              (* All other rows must gain a 1-count entry for the new dim. *)
+              let pad (r : Pd.row) =
+                { r with Pd.alphas = r.alphas @ [ Expr.one ]; signs = r.signs @ [ 1 ] }
+              in
+              let others = List.rev_append (List.map pad acc) (List.map pad rest) in
+              Some
+                {
+                  g with
+                  dims = g.dims @ [ extra_dim ];
+                  rows = merged :: others;
+                }
+          | None -> scan (a :: acc) (b :: rest))
+      | _ -> None
+    in
+    match scan [] rows with Some g' -> pass g' | None -> g
+  in
+  pass g
+
+let rows (t : Pd.t) : Pd.t =
+  { t with groups = List.map (union_group t.ctx.assume) t.groups }
+
+let simplify (t : Pd.t) : Pd.t = Coalesce.pd (rows (Coalesce.pd t))
+
+(* Extend row [a] along the parallel dimension to absorb row [b]
+   starting where [a]'s sweep ends (or overlapping it).  Sound only for
+   whole-phase region reasoning (homogenization): within one phase it
+   would change the per-iteration ID semantics. *)
+let merge_par asm (g : Pd.group) (a : Pd.row) (b : Pd.row) : Pd.row option =
+  match g.par with
+  | None -> None
+  | Some pi ->
+      let dp = (List.nth g.dims pi).stride in
+      if Expr.is_zero dp then None
+      else
+        let same_seq =
+          List.length a.alphas = List.length b.alphas
+          && List.for_all2
+               (fun x y -> Probe.equal asm x y)
+               (List.filteri (fun i _ -> i <> pi) a.alphas)
+               (List.filteri (fun i _ -> i <> pi) b.alphas)
+          && a.signs = b.signs
+        in
+        let delta = Expr.sub b.offset a.offset in
+        if
+          same_seq
+          && Probe.nonneg asm delta
+          && Probe.divides asm dp delta
+          && Probe.le asm delta (Expr.mul (List.nth a.alphas pi) dp)
+        then
+          Some
+            {
+              a with
+              Pd.alphas =
+                set pi
+                  (Expr.add (Expr.div delta dp) (List.nth b.alphas pi))
+                  a.Pd.alphas;
+              mix = Access_mix.join a.mix b.mix;
+              phis = a.phis @ b.phis;
+            }
+        else None
+
+let union_group_par asm (g : Pd.group) : Pd.group =
+  let rec pass (g : Pd.group) =
+    let rows =
+      List.sort
+        (fun (a : Pd.row) (b : Pd.row) ->
+          if Expr.equal a.offset b.offset then 0
+          else if Probe.le asm a.offset b.offset then -1
+          else 1)
+        g.Pd.rows
+    in
+    let rec scan acc = function
+      | a :: b :: rest -> (
+          match merge_par asm g a b with
+          | Some merged ->
+              Some { g with rows = List.rev_append acc (merged :: rest) }
+          | None -> scan (a :: acc) (b :: rest))
+      | _ -> None
+    in
+    match scan [] rows with Some g' -> pass g' | None -> g
+  in
+  pass g
+
+let homogenize (a : Pd.t) (b : Pd.t) : Pd.t option =
+  if not (String.equal a.array b.array) then None
+  else
+    let asm = a.ctx.assume in
+    let compatible (ga : Pd.group) (gb : Pd.group) =
+      List.length ga.dims = List.length gb.dims
+      && ga.par = gb.par
+      && List.for_all2
+           (fun (x : Pd.dim) (y : Pd.dim) -> Probe.equal asm x.stride y.stride)
+           ga.dims gb.dims
+    in
+    match (a.groups, b.groups) with
+    | [ ga ], [ gb ] when compatible ga gb ->
+        let merged =
+          union_group_par asm
+            (union_group asm { ga with rows = ga.rows @ gb.rows })
+        in
+        Some { a with groups = [ merged ]; exact = a.exact && b.exact }
+    | _ -> None

@@ -1,0 +1,29 @@
+(** Access descriptor union and descriptor homogenization (Sec. 2.1).
+
+    {b Union} merges rows of one group that describe the same access
+    pattern shifted by an offset distance: identical iteration counts
+    and signs, with the shift either (a) zero (duplicate reference,
+    e.g. the read and write of [X(phi)] in one statement), (b) landing
+    on the grid of the finest sequential dim within one span of its end
+    (the TFFT2 [tau = 0 / P/2] pair, Fig. 3 (c)->(d)), or (c) small
+    enough to stay adjacent to the row's sequential span, in which case
+    a fresh 2-element dimension records the aggregation (how stencil
+    reads [A(i-1)], [A(i)], [A(i+1)] fuse into one 3-wide row).
+    Distant copies are deliberately {e not} merged - their distance is
+    exactly what storage symmetry (shifted/reverse distances) captures
+    for the ILP's storage constraints.
+
+    {b Homogenization} applies the same merging across the groups of
+    two PDs from {e different} phases, yielding the common-region view
+    used by inter-phase analysis. *)
+
+val rows : Pd.t -> Pd.t
+(** Union rows within every group. *)
+
+val simplify : Pd.t -> Pd.t
+(** The full pipeline: coalesce, union rows, coalesce again. *)
+
+val homogenize : Pd.t -> Pd.t -> Pd.t option
+(** Merge two same-array PDs from different phases when their groups
+    are structurally compatible; [None] otherwise.  The result is
+    attached to the first PD's phase context. *)

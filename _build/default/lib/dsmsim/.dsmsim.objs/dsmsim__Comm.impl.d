@@ -1,0 +1,1 @@
+lib/dsmsim/comm.ml: Distribution Env Format Hashtbl Ilp Ir Lcg List Locality Printf String Symbolic

@@ -1,0 +1,1 @@
+lib/dsmsim/comm.mli: Format Ilp Lcg Locality

@@ -1,0 +1,1 @@
+lib/dsmsim/exec.ml: Array Comm Cost Distribution Env Format Hashtbl Ilp Ir Lcg List Locality Symbolic

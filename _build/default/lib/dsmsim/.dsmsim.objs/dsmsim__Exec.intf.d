@@ -1,0 +1,1 @@
+lib/dsmsim/exec.mli: Format Ilp Lcg Locality

@@ -1,0 +1,1 @@
+lib/dsmsim/validate.ml: Array Comm Distribution Env Format Hashtbl Ilp Ir Lcg List Locality Symbolic

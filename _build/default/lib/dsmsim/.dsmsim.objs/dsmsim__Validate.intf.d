@@ -1,0 +1,1 @@
+lib/dsmsim/validate.mli: Comm Format Ilp Lcg Locality

@@ -1,0 +1,228 @@
+open Symbolic
+open Locality
+open Ilp
+
+type message = {
+  src : int;
+  dst : int;
+  ranges : (int * int) list;
+  words : int;
+}
+
+type event =
+  | Redistribute of {
+      array : string;
+      before_phase : int;
+      messages : message list;
+    }
+  | Frontier of { array : string; after_phase : int; messages : message list }
+
+type schedule = event list
+
+let array_size (lcg : Lcg.t) array =
+  try
+    Env.eval lcg.env
+      (Ir.Linearize.size ~dims:(Ir.Types.array_decl lcg.prog array).dims)
+  with _ -> 0
+
+(* Group (src, dst, addr) triples into aggregated messages with maximal
+   contiguous ranges. *)
+let aggregate (triples : (int * int * int) list) : message list =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (src, dst, addr) ->
+      let key = (src, dst) in
+      let prev = try Hashtbl.find tbl key with Not_found -> [] in
+      Hashtbl.replace tbl key (addr :: prev))
+    triples;
+  Hashtbl.fold
+    (fun (src, dst) addrs acc ->
+      let sorted = List.sort_uniq compare addrs in
+      let ranges =
+        List.fold_left
+          (fun acc a ->
+            match acc with
+            | (lo, hi) :: rest when a = hi + 1 -> (lo, a) :: rest
+            | _ -> (a, a) :: acc)
+          [] sorted
+        |> List.rev
+      in
+      let words = List.length sorted in
+      { src; dst; ranges; words } :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare (a.src, a.dst) (b.src, b.dst))
+
+(* Copy-in elision: entering a new layout epoch needs no
+   redistribution when the epoch's accesses are all covered by writes
+   performed inside the epoch before any exposed read - checked
+   conservatively as "the epoch's first accessing phase writes a
+   superset of everything the epoch touches". *)
+let write_covers_epoch (lcg : Lcg.t) (l : Distribution.layout) =
+    let phases_of r = List.filteri (fun k _ -> r k) lcg.prog.phases in
+    let head = List.nth lcg.prog.phases l.first_phase in
+    let written = Hashtbl.create 256 in
+    let all = Hashtbl.create 256 in
+    Ir.Enumerate.iter lcg.prog lcg.env head
+      ~f:(fun ~par:_ ~array ~addr access ~work:_ ->
+        if String.equal array l.array then begin
+          Hashtbl.replace all addr ();
+          match access with
+          | Ir.Types.Write -> Hashtbl.replace written addr ()
+          | Ir.Types.Read -> ()
+        end);
+    (* the head phase itself must be write-only on this array *)
+    let head_write_only =
+      Hashtbl.length written = Hashtbl.length all && Hashtbl.length all > 0
+    in
+    head_write_only
+    && List.for_all
+         (fun ph ->
+           let covered = ref true in
+           Ir.Enumerate.iter lcg.prog lcg.env ph
+             ~f:(fun ~par:_ ~array ~addr _ ~work:_ ->
+               if String.equal array l.array && not (Hashtbl.mem written addr)
+               then covered := false);
+           !covered)
+         (phases_of (fun k -> k > l.first_phase && k <= l.last_phase))
+
+(* The frontier strips of a halo'd layout: each block owner's edge
+   cells, addressed to the neighbouring blocks' owners. *)
+let strip_triples (plan : Distribution.plan) (l : Distribution.layout) size =
+  if l.halo <= 0 || l.halo >= size then []
+  else begin
+    let triples = ref [] in
+    let b = l.block in
+    let w = min l.halo b in
+    let nblocks = ((size - l.base) + b - 1) / b in
+    for blk = 0 to nblocks - 1 do
+      let start = l.base + (blk * b) in
+      let owner = Distribution.proc_of plan l ~addr:start in
+      let strip lo hi target =
+        if target >= 0 && target < plan.h && target <> owner then
+          for a = max 0 lo to min (size - 1) hi do
+            triples := (owner, target, a) :: !triples
+          done
+      in
+      if start + b < size then
+        strip (start + b - w) (start + b - 1)
+          (Distribution.proc_of plan l ~addr:(start + b));
+      if blk > 0 || l.base > 0 then
+        strip start (start + w - 1)
+          (Distribution.proc_of plan l ~addr:(start - 1))
+    done;
+    !triples
+  end
+
+let generate (lcg : Lcg.t) (plan : Distribution.plan) : schedule =
+  let events = ref [] in
+  let n_phases = List.length lcg.prog.phases in
+  List.iteri
+    (fun k _ph ->
+      (* Redistributions entering epochs that start at phase k; for a
+         repeating program the wrap from the last phase back into the
+         first epoch (before_phase = 0) is a boundary too. *)
+      List.iter
+        (fun (l : Distribution.layout) ->
+          if
+            l.first_phase = k
+            && (k > 0 || lcg.prog.repeats)
+            && not (write_covers_epoch lcg l)
+          then
+            match
+              Distribution.layout_for plan ~array:l.array
+                ~phase_idx:((k - 1 + n_phases) mod n_phases)
+            with
+            | Some prev when prev <> l ->
+                let size = array_size lcg l.array in
+                let triples = ref [] in
+                for a = 0 to size - 1 do
+                  let po = Distribution.proc_of plan prev ~addr:a in
+                  let no = Distribution.proc_of plan l ~addr:a in
+                  if po <> no then triples := (po, no, a) :: !triples
+                done;
+                if !triples <> [] then
+                  events :=
+                    Redistribute
+                      {
+                        array = l.array;
+                        before_phase = k;
+                        messages = aggregate !triples;
+                      }
+                    :: !events;
+                (* a second round initializes the ghost replicas from
+                   the now-current owners (order matters: strips read
+                   the owners' post-copy-in data) *)
+                let strips = strip_triples plan l size in
+                if strips <> [] then
+                  events :=
+                    Redistribute
+                      {
+                        array = l.array;
+                        before_phase = k;
+                        messages = aggregate strips;
+                      }
+                    :: !events
+            | _ -> ())
+        plan.layouts;
+      (* Frontier updates after phases writing halo'd arrays. *)
+      let ph = List.nth lcg.prog.phases k in
+      let written = Hashtbl.create 4 in
+      Ir.Enumerate.iter lcg.prog lcg.env ph
+        ~f:(fun ~par:_ ~array ~addr:_ access ~work:_ ->
+          match access with
+          | Ir.Types.Write -> Hashtbl.replace written array ()
+          | Ir.Types.Read -> ());
+      Hashtbl.iter
+        (fun array () ->
+          match Distribution.layout_for plan ~array ~phase_idx:k with
+          | Some l when l.halo > 0 && List.length lcg.prog.phases > 1 ->
+              let size = array_size lcg array in
+              let triples = strip_triples plan l size in
+              if triples <> [] then
+                events :=
+                  Frontier
+                    { array; after_phase = k; messages = aggregate triples }
+                  :: !events
+          | _ -> ())
+        written)
+    lcg.prog.phases;
+  List.rev !events
+
+let event_messages = function
+  | Redistribute { messages; _ } | Frontier { messages; _ } -> messages
+
+let total_words s =
+  List.fold_left
+    (fun acc e ->
+      List.fold_left (fun acc m -> acc + m.words) acc (event_messages e))
+    0 s
+
+let message_count s =
+  List.fold_left (fun acc e -> acc + List.length (event_messages e)) 0 s
+
+let redistributions s =
+  List.filter (function Redistribute _ -> true | Frontier _ -> false) s
+
+let frontiers s =
+  List.filter (function Frontier _ -> true | Redistribute _ -> false) s
+
+let pp_message ppf m =
+  Format.fprintf ppf "put %d -> %d: %d words in %d ranges [%s]" m.src m.dst
+    m.words (List.length m.ranges)
+    (String.concat "; "
+       (List.map (fun (lo, hi) -> Printf.sprintf "%d..%d" lo hi) m.ranges))
+
+let pp ppf (s : schedule) =
+  List.iter
+    (fun e ->
+      (match e with
+      | Redistribute { array; before_phase; messages } ->
+          Format.fprintf ppf "@[<v 2>redistribute %s before phase %d (%d msgs):@,"
+            array before_phase (List.length messages);
+          List.iter (fun m -> Format.fprintf ppf "%a@," pp_message m) messages
+      | Frontier { array; after_phase; messages } ->
+          Format.fprintf ppf "@[<v 2>frontier %s after phase %d (%d msgs):@,"
+            array after_phase (List.length messages);
+          List.iter (fun m -> Format.fprintf ppf "%a@," pp_message m) messages);
+      Format.fprintf ppf "@]@,")
+    s

@@ -1,0 +1,56 @@
+(** Communication generation (paper, Sec. 4.3 (b)).
+
+    Turns an LCG + distribution plan into the explicit single-sided
+    communication schedule a compiler would emit:
+
+    - {b Global communications} (redistribution): at every layout-epoch
+      boundary of an array, each processor [put]s the addresses whose
+      owner changes to their new owner; entering a halo'd epoch adds a
+      {e second} round that initializes the ghost replicas from the
+      now-current owners (order matters - the dataflow validator caught
+      strips forwarding pre-copy-in data).  Messages are
+      {e aggregated}: one message per (src, dst) pair carrying a list
+      of maximal contiguous address ranges.  Boundaries elided by
+      {!write_covers_epoch} (the epoch rewrites the array) emit
+      nothing.
+    - {b Frontier communications}: after every phase that writes a
+      halo'd array, each block owner pushes its boundary strips of
+      [halo] elements to the neighbouring replicas.
+
+    The schedule is cross-validated against the simulator's independent
+    owner-change accounting in the test suite. *)
+
+open Locality
+
+type message = {
+  src : int;
+  dst : int;
+  ranges : (int * int) list;  (** inclusive, maximal, sorted *)
+  words : int;
+}
+
+type event =
+  | Redistribute of {
+      array : string;
+      before_phase : int;
+      messages : message list;
+    }
+  | Frontier of { array : string; after_phase : int; messages : message list }
+
+type schedule = event list
+
+val write_covers_epoch : Lcg.t -> Ilp.Distribution.layout -> bool
+(** Copy-in elision predicate: true when the epoch's first accessing
+    phase write-covers everything the epoch touches, so entering the
+    epoch needs no redistribution. *)
+
+val generate : Lcg.t -> Ilp.Distribution.plan -> schedule
+(** Events in program order; for a repeating program, events with
+    [before_phase = 0] are the wrap-around boundary and apply from the
+    second traversal on. *)
+
+val total_words : schedule -> int
+val message_count : schedule -> int
+val redistributions : schedule -> event list
+val frontiers : schedule -> event list
+val pp : Format.formatter -> schedule -> unit

@@ -1,0 +1,254 @@
+open Symbolic
+open Locality
+open Ilp
+
+type phase_stats = {
+  name : string;
+  local : int;
+  remote : int;
+  compute : int;
+  time : float;
+}
+
+type comm_kind = Redistribution | Frontier_update
+
+type comm_stats = {
+  array : string;
+  kind : comm_kind;
+  before_phase : int;
+  words : int;
+  time : float;
+}
+
+type proc_stats = {
+  compute_time : float;
+  access_time : float;  (** local + remote access cycles *)
+}
+
+type run = {
+  h : int;
+  phases : phase_stats list;
+  comms : comm_stats list;
+  par_time : float;
+  seq_time : float;
+  efficiency : float;
+  total_local : int;
+  total_remote : int;
+  per_proc : proc_stats array;
+}
+
+let proc_of_iteration ~chunk ~h i = i / max 1 chunk mod h
+
+let array_size (lcg : Lcg.t) array =
+  try
+    Env.eval lcg.env
+      (Ir.Linearize.size ~dims:(Ir.Types.array_decl lcg.prog array).dims)
+  with _ -> 0
+
+let seq_env_run (lcg : Lcg.t) (m : Cost.machine) =
+  let total = ref 0.0 in
+  List.iter
+    (fun ph ->
+      Ir.Enumerate.iter lcg.prog lcg.env ph ~f:(fun ~par:_ ~array:_ ~addr:_ _ ~work ->
+          total := !total +. float_of_int (work + m.t_local)))
+    lcg.prog.phases;
+  !total
+
+let run ?(rounds = 1) (lcg : Lcg.t) (plan : Distribution.plan) (m : Cost.machine) : run =
+  let h = plan.h in
+  let sizes = Hashtbl.create 8 in
+  let size_of array =
+    match Hashtbl.find_opt sizes array with
+    | Some s -> s
+    | None ->
+        let s = array_size lcg array in
+        Hashtbl.add sizes array s;
+        s
+  in
+  let phases = ref [] and comms = ref [] in
+  let total_local = ref 0 and total_remote = ref 0 in
+  let par_time = ref 0.0 and seq_time = ref 0.0 in
+  let proc_compute = Array.make h 0.0 and proc_access = Array.make h 0.0 in
+  let sched = Comm.generate lcg plan in
+  (* Per-processor cost of one communication event: every processor
+     overlaps its own sends and receives; the event completes when the
+     busiest processor does. *)
+  let event_time messages =
+    let sends = Array.make h 0 and recvs = Array.make h 0 in
+    let msgs = Array.make h 0 in
+    List.iter
+      (fun (msg : Comm.message) ->
+        sends.(msg.src) <- sends.(msg.src) + msg.words;
+        recvs.(msg.dst) <- recvs.(msg.dst) + msg.words;
+        msgs.(msg.src) <- msgs.(msg.src) + 1)
+      messages;
+    let worst = ref 0.0 in
+    for p0 = 0 to h - 1 do
+      let t =
+        float_of_int (msgs.(p0) * m.t_startup)
+        +. float_of_int ((sends.(p0) + recvs.(p0)) * m.t_word)
+      in
+      if t > !worst then worst := t
+    done;
+    !worst
+  in
+  for round = 0 to rounds - 1 do
+  List.iteri
+    (fun k ph ->
+      (* Communication entering this phase, straight from the generated
+         schedule (wrap events fire from the second round on). *)
+      List.iter
+        (function
+          | Comm.Redistribute { array; before_phase; messages }
+            when before_phase = k && (k > 0 || round > 0) ->
+              let words =
+                List.fold_left
+                  (fun a (msg : Comm.message) -> a + msg.words)
+                  0 messages
+              in
+              let t = event_time messages in
+              par_time := !par_time +. t;
+              comms :=
+                { array; kind = Redistribution; before_phase = k; words; time = t }
+                :: !comms
+          | _ -> ())
+        sched;
+      (* Phase execution. *)
+      let clock = Array.make h 0.0 in
+      let local = ref 0 and remote = ref 0 and compute = ref 0 in
+      let written = Hashtbl.create 4 in
+      let chunk = plan.chunk.(k) in
+      Ir.Enumerate.iter lcg.prog lcg.env ph
+        ~f:(fun ~par ~array ~addr access ~work ->
+          let proc =
+            match par with
+            | Some i -> proc_of_iteration ~chunk ~h i
+            | None -> 0
+          in
+          (* Remote writes are single-sided pipelined puts (t_put);
+             remote reads pay the full round trip (t_remote). *)
+          let remote_cost =
+            match access with
+            | Ir.Types.Read -> m.t_remote
+            | Ir.Types.Write -> m.t_put
+          in
+          let access_cost =
+            if List.mem (k, array) plan.privatized then begin
+              incr local;
+              m.t_local
+            end
+            else
+              match Distribution.layout_for plan ~array ~phase_idx:k with
+              | Some l ->
+                  let owned = Distribution.proc_of plan l ~addr = proc in
+                  (* Reads within the replicated ghost zone around an
+                     owned block are served locally (Theorem 1c). *)
+                  (* the replicated window matches the frontier strips:
+                     min(halo, block) cells beyond each owned block *)
+                  let w = min l.halo l.block in
+                  let halo_local =
+                    (not owned)
+                    && l.halo > 0
+                    && (match access with Ir.Types.Read -> true | Ir.Types.Write -> false)
+                    && (l.halo >= size_of array
+                       || Distribution.proc_of plan l ~addr:(addr - w) = proc
+                       || Distribution.proc_of plan l ~addr:(addr + w) = proc)
+                  in
+                  if owned || halo_local then begin
+                    incr local;
+                    m.t_local
+                  end
+                  else begin
+                    incr remote;
+                    remote_cost
+                  end
+              | None ->
+                  incr local;
+                  m.t_local
+          in
+          (match access with
+          | Ir.Types.Write -> Hashtbl.replace written array ()
+          | Ir.Types.Read -> ());
+          compute := !compute + work;
+          clock.(proc) <- clock.(proc) +. float_of_int (work + access_cost);
+          proc_compute.(proc) <- proc_compute.(proc) +. float_of_int work;
+          proc_access.(proc) <- proc_access.(proc) +. float_of_int access_cost;
+          seq_time := !seq_time +. float_of_int (work + m.t_local));
+      let t = Array.fold_left max 0.0 clock in
+      (* Frontier updates leaving this phase, from the schedule. *)
+      let frontier_t =
+        List.fold_left
+          (fun acc ev ->
+            match ev with
+            | Comm.Frontier { array; after_phase; messages }
+              when after_phase = k && Hashtbl.mem written array ->
+                let words =
+                  List.fold_left
+                    (fun a (msg : Comm.message) -> a + msg.words)
+                    0 messages
+                in
+                let tt = event_time messages in
+                comms :=
+                  {
+                    array;
+                    kind = Frontier_update;
+                    before_phase = k + 1;
+                    words;
+                    time = tt;
+                  }
+                  :: !comms;
+                acc +. tt
+            | _ -> acc)
+          0.0 sched
+      in
+      par_time := !par_time +. t +. frontier_t;
+      total_local := !total_local + !local;
+      total_remote := !total_remote + !remote;
+      phases :=
+        {
+          name = ph.Ir.Types.phase_name;
+          local = !local;
+          remote = !remote;
+          compute = !compute;
+          time = t;
+        }
+        :: !phases)
+    lcg.prog.phases
+  done;
+  let par = !par_time in
+  let seq = !seq_time in
+  {
+    h;
+    phases = List.rev !phases;
+    comms = List.rev !comms;
+    par_time = par;
+    seq_time = seq;
+    efficiency = (if par <= 0.0 then 1.0 else seq /. (float_of_int h *. par));
+    total_local = !total_local;
+    total_remote = !total_remote;
+    per_proc =
+      Array.init h (fun p0 ->
+          { compute_time = proc_compute.(p0); access_time = proc_access.(p0) });
+  }
+
+let pp ppf (r : run) =
+  Format.fprintf ppf
+    "@[<v>H=%d  T_par=%.0f  T_seq=%.0f  efficiency=%.1f%%  local=%d remote=%d@,"
+    r.h r.par_time r.seq_time (100.0 *. r.efficiency) r.total_local
+    r.total_remote;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %-6s local=%-8d remote=%-8d t=%.0f@," p.name
+        p.local p.remote p.time)
+    r.phases;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %s %s %s phase %d: %d words (t=%.0f)@,"
+        (match c.kind with
+        | Redistribution -> "redistribute"
+        | Frontier_update -> "frontier")
+        c.array
+        (match c.kind with Redistribution -> "before" | Frontier_update -> "after")
+        c.before_phase c.words c.time)
+    r.comms;
+  Format.fprintf ppf "@]"

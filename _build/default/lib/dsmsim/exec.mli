@@ -1,0 +1,63 @@
+(** Discrete DSM machine simulator (the Cray T3D stand-in).
+
+    Replays a program's memory traffic phase by phase under an
+    iteration/data distribution plan, charging [t_local] or [t_remote]
+    cycles per access against the owning processor's clock, plus
+    aggregated single-sided [put] redistribution traffic whenever an
+    array's layout epoch changes between phases.  Parallel time is the
+    max over processor clocks; efficiency is measured against the same
+    program replayed sequentially with every access local. *)
+
+open Locality
+
+type phase_stats = {
+  name : string;
+  local : int;  (** local accesses *)
+  remote : int;
+  compute : int;  (** work cycles *)
+  time : float;  (** parallel time of this phase (max over processors) *)
+}
+
+type comm_kind = Redistribution | Frontier_update
+
+type comm_stats = {
+  array : string;
+  kind : comm_kind;
+  before_phase : int;
+      (** redistribution: fires before this phase; frontier update:
+          fires after phase [before_phase - 1] *)
+  words : int;  (** words moved *)
+  time : float;
+}
+
+type proc_stats = {
+  compute_time : float;
+  access_time : float;  (** local + remote access cycles *)
+}
+
+type run = {
+  h : int;
+  phases : phase_stats list;
+  comms : comm_stats list;
+  par_time : float;  (** sum of phase maxima + communication *)
+  seq_time : float;  (** one processor, all local *)
+  efficiency : float;  (** seq / (h * par) *)
+  total_local : int;
+  total_remote : int;
+  per_proc : proc_stats array;  (** work distribution across processors *)
+}
+
+val run : ?rounds:int -> Lcg.t -> Ilp.Distribution.plan -> Ilp.Cost.machine -> run
+(** [rounds] (default 1) replays the whole phase sequence that many
+    times - the steady state of a repeating (timestep) program,
+    including the wrap-around layout boundary between the last and
+    first phases. *)
+
+val pp : Format.formatter -> run -> unit
+
+val proc_of_iteration : chunk:int -> h:int -> int -> int
+(** CYCLIC(p): iteration [i] runs on [(i / p) mod h]. *)
+
+val seq_env_run : Lcg.t -> Ilp.Cost.machine -> float
+(** Sequential reference time (exported for cross-checks). *)
+

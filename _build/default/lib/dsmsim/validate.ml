@@ -1,0 +1,128 @@
+open Symbolic
+open Locality
+open Ilp
+
+type report = {
+  reads : int;
+  stale : int;
+  stale_examples : (string * int * int) list;
+}
+
+let run ?(rounds = 1) ?sched (lcg : Lcg.t) (plan : Distribution.plan) : report =
+  let h = plan.h in
+  let sched =
+    match sched with Some s -> s | None -> Comm.generate lcg plan
+  in
+  (* golden.(array, addr) = version after the latest sequential write *)
+  let golden : (string * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  (* held.(proc, array, addr) = version of that processor's copy *)
+  let held : (int * string * int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let g key = try Hashtbl.find golden key with Not_found -> 0 in
+  let hv proc (a, x) = try Hashtbl.find held (proc, a, x) with Not_found -> 0 in
+  let set_held proc (a, x) v = Hashtbl.replace held (proc, a, x) v in
+  let reads = ref 0 and stale = ref 0 in
+  let examples = ref [] in
+  let counter = ref 0 in
+  let sizes = Hashtbl.create 8 in
+  let size_of array =
+    match Hashtbl.find_opt sizes array with
+    | Some s -> s
+    | None ->
+        let s =
+          try
+            Env.eval lcg.env
+              (Ir.Linearize.size ~dims:(Ir.Types.array_decl lcg.prog array).dims)
+          with _ -> 0
+        in
+        Hashtbl.add sizes array s;
+        s
+  in
+  let deliver (m : Comm.message) array =
+    List.iter
+      (fun (lo, hi) ->
+        for a = lo to hi do
+          set_held m.dst (array, a) (hv m.src (array, a))
+        done)
+      m.ranges
+  in
+  let n_phases = List.length lcg.prog.phases in
+  for round = 0 to rounds - 1 do
+    List.iteri
+      (fun k ph ->
+        (* incoming redistribution; wrap events (before_phase = 0) fire
+           only from the second round on *)
+        List.iter
+          (function
+            | Comm.Redistribute { array; before_phase; messages }
+              when before_phase = k && (k > 0 || round > 0) ->
+                List.iter (fun m -> deliver m array) messages
+            | _ -> ())
+          sched;
+        let chunk = plan.chunk.(k) in
+        let privatized array = List.mem (k, array) plan.privatized in
+        Ir.Enumerate.iter lcg.prog lcg.env ph
+          ~f:(fun ~par ~array ~addr access ~work:_ ->
+            if not (privatized array) then begin
+              let key = (array, addr) in
+              let proc =
+                match par with
+                | Some i -> i / max 1 chunk mod h
+                | None -> 0
+              in
+              let layout = Distribution.layout_for plan ~array ~phase_idx:k in
+              let owner =
+                match layout with
+                | Some l -> Distribution.proc_of plan l ~addr
+                | None -> proc
+              in
+              match access with
+              | Ir.Types.Write ->
+                  incr counter;
+                  Hashtbl.replace golden key !counter;
+                  set_held owner key !counter;
+                  if proc <> owner then set_held proc key !counter
+              | Ir.Types.Read ->
+                  incr reads;
+                  let serving =
+                    (* owned or halo-local reads use the local replica;
+                       everything else is a direct get from the owner *)
+                    match layout with
+                    | Some l
+                      when proc <> owner
+                           && l.halo > 0
+                           &&
+                           let w = min l.halo l.block in
+                           l.halo >= size_of array
+                           || Distribution.proc_of plan l ~addr:(addr - w)
+                              = proc
+                           || Distribution.proc_of plan l ~addr:(addr + w)
+                              = proc ->
+                        proc
+                    | _ -> if proc = owner then proc else owner
+                  in
+                  if hv serving key <> g key then begin
+                    incr stale;
+                    if List.length !examples < 10 then
+                      examples := (array, addr, k) :: !examples
+                  end
+            end);
+        (* outgoing frontier updates *)
+        List.iter
+          (function
+            | Comm.Frontier { array; after_phase; messages }
+              when after_phase = k ->
+                List.iter (fun m -> deliver m array) messages
+            | _ -> ())
+          sched;
+        ignore n_phases)
+      lcg.prog.phases
+  done;
+  { reads = !reads; stale = !stale; stale_examples = List.rev !examples }
+
+let ok r = r.stale = 0
+
+let pp ppf r =
+  Format.fprintf ppf "reads %d, stale %d" r.reads r.stale;
+  List.iter
+    (fun (a, x, k) -> Format.fprintf ppf "@,  stale %s(%d) in phase %d" a x k)
+    r.stale_examples

@@ -1,0 +1,45 @@
+(** Dataflow validation of the communication schedule.
+
+    The simulator ({!Exec}) prices accesses; this module checks
+    {e correctness}: replaying the program with versioned memory, it
+    verifies that under the plan plus the generated communication
+    schedule ({!Comm}), every read observes the value sequential
+    execution would produce.
+
+    Model: every (array, address) carries a version incremented by each
+    write in sequential program order (the golden trace).  Each
+    processor holds its own copy of every address (owners are
+    authoritative; ghost replicas go stale when someone else writes).
+    Writes update the owner's copy (a remote put) and the writer's own;
+    redistribution and frontier messages copy the source processor's
+    versions into the destination's replicas, exactly as the schedule
+    says.  A read is {e stale} when the copy it is served from (its own
+    replica for owned/halo-local reads, the owner's for remote reads)
+    does not carry the golden version.
+
+    A zero-stale result certifies that the plan's layout epochs, halo
+    widths, copy-in elisions and frontier updates are mutually
+    consistent - the property the paper's Theorems 1-2 promise. *)
+
+open Locality
+
+type report = {
+  reads : int;
+  stale : int;
+  stale_examples : (string * int * int) list;
+      (** up to 10 (array, addr, phase) witnesses *)
+}
+
+val run :
+  ?rounds:int ->
+  ?sched:Comm.schedule ->
+  Lcg.t ->
+  Ilp.Distribution.plan ->
+  report
+(** [sched] overrides the generated communication schedule - used to
+    demonstrate that omitting messages is detected. *)
+
+val ok : report -> bool
+(** [stale = 0]. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Format List Printf String

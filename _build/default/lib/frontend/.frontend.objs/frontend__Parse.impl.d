@@ -1,0 +1,1 @@
+lib/frontend/parse.ml: Assume Expr Format Fun Inline Ir Lexer List Printf String Symbolic Types

@@ -1,0 +1,1 @@
+lib/frontend/parse.mli: Ir

@@ -1,0 +1,1 @@
+lib/frontend/unparse.ml: Assume Expr Format Ir List Symbolic

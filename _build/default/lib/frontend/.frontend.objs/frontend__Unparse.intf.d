@@ -1,0 +1,1 @@
+lib/frontend/unparse.mli: Format Ir Symbolic

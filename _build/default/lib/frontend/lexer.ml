@@ -1,0 +1,134 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CARET
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | EQUAL
+  | DOTDOT
+  | NEWLINE
+  | EOF
+
+exception Error of { line : int; message : string }
+
+let keywords =
+  [ "program"; "param"; "pow2"; "real"; "phase"; "doall"; "do"; "end";
+    "repeat"; "work"; "to"; "step"; "sub"; "endsub"; "call" ]
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable lookahead : token option;
+}
+
+let of_string src = { src; pos = 0; line = 1; lookahead = None }
+let line t = t.line
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let rec scan t : token =
+  if t.pos >= String.length t.src then EOF
+  else
+    let c = t.src.[t.pos] in
+    match c with
+    | ' ' | '\t' | '\r' ->
+        t.pos <- t.pos + 1;
+        scan t
+    | '\n' ->
+        t.pos <- t.pos + 1;
+        t.line <- t.line + 1;
+        NEWLINE
+    | '!' | '#' ->
+        (* comment to end of line *)
+        while t.pos < String.length t.src && t.src.[t.pos] <> '\n' do
+          t.pos <- t.pos + 1
+        done;
+        scan t
+    | '+' -> t.pos <- t.pos + 1; PLUS
+    | '-' -> t.pos <- t.pos + 1; MINUS
+    | '*' ->
+        (* Fortran's ** is exponentiation too *)
+        if t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '*' then begin
+          t.pos <- t.pos + 2;
+          CARET
+        end
+        else begin
+          t.pos <- t.pos + 1;
+          STAR
+        end
+    | '/' -> t.pos <- t.pos + 1; SLASH
+    | '^' -> t.pos <- t.pos + 1; CARET
+    | '(' -> t.pos <- t.pos + 1; LPAREN
+    | ')' -> t.pos <- t.pos + 1; RPAREN
+    | ',' -> t.pos <- t.pos + 1; COMMA
+    | ':' -> t.pos <- t.pos + 1; COLON
+    | '=' -> t.pos <- t.pos + 1; EQUAL
+    | '.' ->
+        if t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '.' then begin
+          t.pos <- t.pos + 2;
+          DOTDOT
+        end
+        else raise (Error { line = t.line; message = "stray '.'" })
+    | c when is_digit c ->
+        let start = t.pos in
+        while t.pos < String.length t.src && is_digit t.src.[t.pos] do
+          t.pos <- t.pos + 1
+        done;
+        INT (int_of_string (String.sub t.src start (t.pos - start)))
+    | c when is_alpha c ->
+        let start = t.pos in
+        while
+          t.pos < String.length t.src
+          && (is_alpha t.src.[t.pos] || is_digit t.src.[t.pos])
+        do
+          t.pos <- t.pos + 1
+        done;
+        let word = String.sub t.src start (t.pos - start) in
+        let lower = String.lowercase_ascii word in
+        if List.mem lower keywords then KW lower else IDENT word
+    | c ->
+        raise
+          (Error
+             { line = t.line; message = Printf.sprintf "unexpected character %C" c })
+
+let peek t =
+  match t.lookahead with
+  | Some tok -> tok
+  | None ->
+      let tok = scan t in
+      t.lookahead <- Some tok;
+      tok
+
+let next t =
+  match t.lookahead with
+  | Some tok ->
+      t.lookahead <- None;
+      tok
+  | None -> scan t
+
+let pp_token ppf = function
+  | INT n -> Format.fprintf ppf "%d" n
+  | IDENT s -> Format.fprintf ppf "%s" s
+  | KW s -> Format.fprintf ppf "%s" s
+  | PLUS -> Format.pp_print_string ppf "+"
+  | MINUS -> Format.pp_print_string ppf "-"
+  | STAR -> Format.pp_print_string ppf "*"
+  | SLASH -> Format.pp_print_string ppf "/"
+  | CARET -> Format.pp_print_string ppf "^"
+  | LPAREN -> Format.pp_print_string ppf "("
+  | RPAREN -> Format.pp_print_string ppf ")"
+  | COMMA -> Format.pp_print_string ppf ","
+  | COLON -> Format.pp_print_string ppf ":"
+  | EQUAL -> Format.pp_print_string ppf "="
+  | DOTDOT -> Format.pp_print_string ppf ".."
+  | NEWLINE -> Format.pp_print_string ppf "<newline>"
+  | EOF -> Format.pp_print_string ppf "<eof>"

@@ -1,0 +1,31 @@
+(** Lexer for the surface language (see {!Parse} for the grammar). *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string
+      (** program / param / pow2 / real / phase / doall / do / end /
+          repeat / work / to / step / sub / endsub / call *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CARET  (** exponentiation, [2^e] *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | EQUAL
+  | DOTDOT
+  | NEWLINE
+  | EOF
+
+exception Error of { line : int; message : string }
+
+type t
+
+val of_string : string -> t
+val peek : t -> token
+val next : t -> token
+val line : t -> int
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,50 @@
+(** Parser for the surface language: a Fortran-flavoured mini dialect
+    for writing analyzable programs in text form.
+
+    {v
+    program tfft2_f3
+    param p = 2..6
+    param q = 1..5
+    pow2 P = p
+    pow2 Q = q
+    real X(2*P*Q)
+
+    phase F3:
+      doall I = 0, Q-1
+        do L = 1, p
+          do J = 0, P * 2^(0-L) - 1
+            do K = 0, 2^(L-1) - 1
+              X(2*P*I + 2^(L-1)*J + K) =
+                X(2*P*I + 2^(L-1)*J + K) + X(2*P*I + 2^(L-1)*J + K + P/2) work 8
+            end
+          end
+        end
+      end
+    v}
+
+    - [param x = lo..hi] declares a free integer parameter;
+      [pow2 X = x] declares X = 2^x (the paper's input constraints).
+    - [real A(e1, e2, ...)] declares an array with symbolic extents.
+    - [phase NAME:] introduces one loop nest; [doall] marks the (single)
+      parallel loop.  Loop syntax: [do I = lo, hi [step s]] ... [end].
+    - A statement [A(e) = rhs [work N]] writes its left-hand reference
+      and reads every array reference in [rhs]; [work] sets the
+      abstract per-execution cost (default 1).  A bare reference line
+      [A(e)] is a read-only sink.
+    - [sub NAME(A(dims), ...)] ... [endsub] declares a subroutine over
+      dummy arrays; [call NAME(G, G2(offset))] splices its phases with
+      each formal rebound to the actual array section (Fortran
+      storage-sequence association, flat 0-based offsets) - the
+      inter-procedural reshaping path of {!Ir.Inline}.
+    - [repeat] (after the phases) marks the program as enclosed in a
+      timestep loop.
+    - [!] and [#] start comments; [**] and [^] both mean power (base 2
+      or constant exponents only). *)
+
+exception Error of { line : int; message : string }
+
+val program : string -> Ir.Types.program
+(** Parse a full program from source text. @raise Error *)
+
+val program_file : string -> Ir.Types.program
+(** Parse from a file path. @raise Error and [Sys_error]. *)

@@ -1,0 +1,15 @@
+(** IR -> surface-language pretty-printer.
+
+    Produces text that {!Parse.program} accepts; the round trip
+    preserves semantics (same access events under every environment),
+    which the test suite checks on the benchmark kernels and on random
+    programs.  Note the trip is not syntactic: parsing normalizes
+    nothing, but unparsing renders each statement as
+    [lhs = reads... work N] (or a bare reference when nothing is
+    written), so statements with several writes are split. *)
+
+val expr : Format.formatter -> Symbolic.Expr.t -> unit
+(** Expression in surface syntax ([2^(e)] for pow2 atoms). *)
+
+val program : Format.formatter -> Ir.Types.program -> unit
+val to_string : Ir.Types.program -> string

@@ -1,0 +1,1 @@
+lib/ilp/distribution.ml: Array Balance Cost Env Expr Format Ir Lcg List Locality Option Printf Qnum String Symbolic

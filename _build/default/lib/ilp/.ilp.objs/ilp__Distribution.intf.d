@@ -1,0 +1,1 @@
+lib/ilp/distribution.mli: Format Locality

@@ -1,0 +1,1 @@
+lib/ilp/ilp_solver.ml: Array Lp Qnum Symbolic

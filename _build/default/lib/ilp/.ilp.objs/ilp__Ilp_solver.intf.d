@@ -1,0 +1,1 @@
+lib/ilp/ilp_solver.mli: Lp Qnum Symbolic

@@ -1,0 +1,1 @@
+lib/ilp/model.ml: Array Balance Env Expr Format Fun Ir Lcg List Locality Lp Option Printf Qnum Symbolic Table1

@@ -1,0 +1,1 @@
+lib/ilp/model.mli: Expr Format Locality Lp Qnum Symbolic

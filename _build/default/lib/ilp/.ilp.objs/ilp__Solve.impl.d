@@ -1,0 +1,1 @@
+lib/ilp/solve.ml: Array Cost Descriptor Fun Hashtbl Ir Lcg List Locality Model Queue String Symbolic Table1

@@ -1,0 +1,1 @@
+lib/ilp/solve.mli: Cost Locality Model

@@ -1,0 +1,43 @@
+type machine = {
+  h : int;
+  t_local : int;
+  t_remote : int;
+  t_put : int;
+  t_startup : int;
+  t_word : int;
+}
+
+let default_machine ~h =
+  { h; t_local = 1; t_remote = 30; t_put = 4; t_startup = 100; t_word = 3 }
+
+let max_chunk_load ~n ~p ~h =
+  if n <= 0 then 0
+  else begin
+    let p = max 1 p in
+    let round = p * h in
+    let full = n / round and rem = n mod round in
+    (full * p) + min p rem
+  end
+
+let load_imbalance ~n ~p ~h ~work =
+  if n <= 0 || work <= 0 then 0.0
+  else
+    let per_iter = float_of_int work /. float_of_int n in
+    let excess =
+      float_of_int (max_chunk_load ~n ~p ~h) -. (float_of_int n /. float_of_int h)
+    in
+    if excess <= 0.0 then 0.0 else excess *. per_iter
+
+let redistribution m ~words =
+  if m.h <= 1 then 0.0
+  else
+    let h = float_of_int m.h in
+    let share = float_of_int words /. h in
+    (float_of_int m.t_startup *. (h -. 1.0))
+    +. (share *. (h -. 1.0) /. h *. float_of_int m.t_word)
+
+let frontier m ~words =
+  if m.h <= 1 then 0.0
+  else
+    float_of_int m.t_startup
+    +. (float_of_int words /. float_of_int m.h *. float_of_int m.t_word)

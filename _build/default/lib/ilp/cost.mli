@@ -1,0 +1,38 @@
+(** Cost model: load-unbalance D^k and communication C^kg terms of the
+    objective function (paper Eq. 7; the full functions live in the
+    companion report [8], so the concrete shapes here are our
+    documented reconstruction, calibrated against the DSM simulator).
+
+    Machine parameters are in cycles: a remote word costs [t_remote]
+    against [t_local] for a local one; an aggregated message costs
+    [t_startup] plus [t_word] per word. *)
+
+type machine = {
+  h : int;
+  t_local : int;
+  t_remote : int;  (** remote read: full round trip *)
+  t_put : int;  (** remote write: pipelined single-sided put *)
+  t_startup : int;
+  t_word : int;
+}
+
+val default_machine : h:int -> machine
+(** t_local=1, t_remote=30, t_put=4, t_startup=100, t_word=3 - a
+    T3D/SHMEM-flavoured ratio set (puts pipeline, gets round-trip). *)
+
+val max_chunk_load : n:int -> p:int -> h:int -> int
+(** Iterations executed by the most loaded processor under a CYCLIC(p)
+    schedule of [n] iterations on [h] processors. *)
+
+val load_imbalance : n:int -> p:int -> h:int -> work:int -> float
+(** D^k: critical-path excess work, [(max_load - n/h) * (work/n)]
+    where [work] is the phase's total abstract work. *)
+
+val redistribution : machine -> words:int -> float
+(** C^kg for a Global (redistribution) edge: every processor exchanges
+    its share with the others, messages aggregated per destination:
+    per-processor time [(h-1)*t_startup + (words/h)*((h-1)/h)*t_word]. *)
+
+val frontier : machine -> words:int -> float
+(** C^kg for a Frontier (overlap-update) edge: each processor ships one
+    aggregated boundary message of [words] words to each neighbour. *)

@@ -1,0 +1,60 @@
+(** Iteration/data distribution plans derived from a solved model.
+
+    Iterations of phase k are scheduled CYCLIC(p_k): iteration i runs
+    on processor [(i / p_k) mod H].  For each array, each {e chain} of
+    its LCG (maximal L-connected run) covers one common data region; a
+    block-cyclic layout with block [delta_P * p_head] anchored at the
+    chain head's base offset keeps the primary accesses of every chain
+    phase local.
+
+    Storage symmetry enables two layout refinements, the paper's
+    shifted and {e reverse distributions}: a [period] equal to a
+    shifted distance maps the +Delta_d copy of every block onto the
+    same owner, and a [mirror] of length Delta_r folds the address
+    space so symmetric positions [a] and [Delta_r - 1 - a] share an
+    owner.  {!of_solution} enumerates the candidate layouts a chain's
+    distances suggest and keeps the one with the fewest measured remote
+    accesses (exact counting over the chain's phases).
+
+    Between chains (C edges) the array is redistributed; across D edges
+    no data movement is needed. *)
+
+type layout = {
+  array : string;
+  first_phase : int;  (** phase span (inclusive) this layout covers *)
+  last_phase : int;
+  base : int;  (** anchor address *)
+  block : int;  (** block-cyclic block size, >= 1 *)
+  period : int option;  (** shifted-distribution copy distance *)
+  mirror : int option;  (** reverse-distribution fold length *)
+  halo : int;
+      (** ghost-zone width replicated around each owned block; reads
+          within it are local (Theorem 1c), kept fresh by frontier
+          updates after every writing phase *)
+}
+
+type plan = {
+  h : int;
+  chunk : int array;  (** p_k per phase *)
+  layouts : layout list;
+  privatized : (int * string) list;  (** (phase, array) with attr P *)
+}
+
+val proc_of : plan -> layout -> addr:int -> int
+
+val layout_for : plan -> array:string -> phase_idx:int -> layout option
+(** The layout epoch active at the given phase. *)
+
+val of_solution : Locality.Lcg.t -> p:int array -> plan
+
+val block_plan : Locality.Lcg.t -> plan
+(** The naive baseline: BLOCK layout of every array over the whole
+    program, BLOCK iteration scheduling (chunk = ceil(n/H)); what an
+    owner-computes compiler does without locality analysis. *)
+
+val remote_count :
+  Locality.Lcg.t -> plan -> layout -> phase_idx:int -> int
+(** Remote accesses the layout induces for its array in one phase
+    (exact, by enumeration). *)
+
+val pp : Format.formatter -> plan -> unit

@@ -1,0 +1,18 @@
+(** Branch-and-bound integer programming on top of {!Lp}.
+
+    Maximizes the (rational) objective over integer points.  Problems
+    in this repo have a handful of small-bounded variables, so plain
+    most-fractional branching with LP bounds is instantaneous and
+    exact. *)
+
+open Symbolic
+
+type outcome =
+  | Optimal of { value : Qnum.t; point : int array }
+  | Infeasible
+  | Unbounded
+
+val solve : ?max_nodes:int -> Lp.problem -> outcome
+(** All variables are required integer (and >= 0, inherited from
+    {!Lp}).  [max_nodes] (default 100_000) guards pathological
+    instances; exceeding it raises [Failure]. *)

@@ -1,0 +1,224 @@
+open Symbolic
+open Locality
+
+type locality = {
+  array : string;
+  k : int;
+  g : int;
+  a : Expr.t;
+  b : Expr.t;
+  c : Expr.t;
+  ai : int;
+  bi : int;
+  ci : int;
+}
+
+type bound = { k : int; hi : int; hi_expr : Expr.t }
+
+type storage = {
+  array : string;
+  k : int;
+  kind : [ `Shifted | `Reverse ];
+  coeff : int;
+  coeff_expr : Expr.t;
+  limit : int;
+  limit_expr : Expr.t;
+}
+
+type t = {
+  lcg : Lcg.t;
+  n_phases : int;
+  locality : locality list;
+  bounds : bound list;
+  storage : storage list;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let of_lcg (lcg : Lcg.t) : t =
+  let env = lcg.env and h = lcg.h in
+  let n_phases = List.length lcg.prog.phases in
+  let locality =
+    List.concat_map
+      (fun (g : Lcg.graph) ->
+        List.filter_map
+          (fun (e : Lcg.edge) ->
+            match (e.label, e.relation) with
+            | Table1.L, Some r -> (
+                try
+                  let nk = List.nth g.nodes e.src
+                  and ng = List.nth g.nodes e.dst in
+                  Some
+                    {
+                      array = g.array;
+                      k = nk.phase_idx;
+                      g = ng.phase_idx;
+                      a = r.a;
+                      b = r.b;
+                      c = r.c;
+                      ai = Env.eval env r.a;
+                      bi = Env.eval env r.b;
+                      ci =
+                        (let ai = Env.eval env r.a
+                         and bi = Env.eval env r.b
+                         and ci = Env.eval env r.c in
+                         if ci <> 0 && abs ci < max ai bi then 0 else ci);
+                    }
+                with Expr.Non_integral _ | Not_found -> None)
+            | _ -> None)
+          g.edges)
+      lcg.graphs
+  in
+  (* One load-balance bound per phase that has nodes; use the smallest
+     parallel count across its array views (they coincide). *)
+  let bounds =
+    List.init n_phases (fun k ->
+        let counts =
+          List.filter_map
+            (fun (g : Lcg.graph) ->
+              Option.map
+                (fun (n : Lcg.node) -> (n.par_n, n.par_expr))
+                (Lcg.node_of_phase g ~phase_idx:k))
+            lcg.graphs
+        in
+        match counts with
+        | [] -> None
+        | (n, ne) :: _ ->
+            Some
+              {
+                k;
+                hi = max 1 (ceil_div n h);
+                hi_expr = Expr.ceil_div ne (Expr.var "H");
+              })
+    |> List.filter_map Fun.id
+  in
+  let storage =
+    List.concat_map
+      (fun (g : Lcg.graph) ->
+        List.concat_map
+          (fun (n : Lcg.node) ->
+            match Balance.side n.id with
+            | None -> []
+            | Some side -> (
+                try
+                  let dp = Env.eval env side.primary.par_stride in
+                  if dp <= 0 then []
+                  else
+                    (* A distance within one iteration's reach (span +
+                       stride) is a stencil frame, not a distant copy:
+                       it constrains nothing - the overlap machinery
+                       owns it. *)
+                    let near =
+                      try Env.eval env side.primary.span_seq + (2 * dp)
+                      with Expr.Non_integral _ | Not_found -> 0
+                    in
+                    let coeff = dp * h in
+                    let coeff_expr =
+                      Expr.mul side.primary.par_stride (Expr.int h)
+                    in
+                    let mk kind limit_expr =
+                      try
+                        let lim = Qnum.floor (Env.eval_q env limit_expr) in
+                        if lim <= near then None
+                        else
+                        Some
+                          {
+                            array = g.array;
+                            k = n.phase_idx;
+                            kind;
+                            coeff;
+                            coeff_expr;
+                            limit =
+                              Qnum.floor (Env.eval_q env limit_expr);
+                            limit_expr;
+                          }
+                      with Expr.Non_integral _ | Not_found -> None
+                    in
+                    List.filter_map Fun.id
+                      (List.map (fun d -> mk `Shifted d) n.sym.shifted
+                      @ List.map
+                          (fun d ->
+                            mk `Reverse
+                              (Expr.scale (Qnum.make 1 2) d))
+                          n.sym.reverse)
+                with Expr.Non_integral _ | Not_found -> []))
+          g.nodes)
+      lcg.graphs
+  in
+  { lcg; n_phases; locality; bounds; storage }
+
+let to_lp (t : t) ~objective : Lp.problem =
+  let n = t.n_phases in
+  let unit_row f =
+    let r = Array.make n Qnum.zero in
+    f r;
+    r
+  in
+  let loc_rows =
+    List.map
+      (fun (l : locality) ->
+        Lp.constr
+          (unit_row (fun r ->
+               r.(l.k) <- Qnum.of_int l.ai;
+               r.(l.g) <- Qnum.add r.(l.g) (Qnum.of_int (-l.bi))))
+          Lp.Eq (Qnum.of_int l.ci))
+      t.locality
+  in
+  let bound_rows =
+    List.concat_map
+      (fun (b : bound) ->
+        [
+          Lp.constr (unit_row (fun r -> r.(b.k) <- Qnum.one)) Lp.Ge Qnum.one;
+          Lp.constr
+            (unit_row (fun r -> r.(b.k) <- Qnum.one))
+            Lp.Le (Qnum.of_int b.hi);
+        ])
+      t.bounds
+  in
+  let storage_rows =
+    List.map
+      (fun (s : storage) ->
+        Lp.constr
+          (unit_row (fun r -> r.(s.k) <- Qnum.of_int s.coeff))
+          Lp.Le (Qnum.of_int s.limit))
+      t.storage
+  in
+  { Lp.n_vars = n; objective; constraints = loc_rows @ bound_rows @ storage_rows }
+
+let pp ppf (t : t) =
+  let pname k =
+    (List.nth t.lcg.prog.phases k).Ir.Types.phase_name
+  in
+  Format.fprintf ppf "@[<v>Locality constraints:@,";
+  List.iter
+    (fun l ->
+      let lhs =
+        if Expr.equal l.a Expr.one then Printf.sprintf "p[%s]" (pname l.k)
+        else Format.asprintf "%a * p[%s]" Expr.pp l.a (pname l.k)
+      in
+      let rhs =
+        if Expr.equal l.b Expr.one then Printf.sprintf "p[%s]" (pname l.g)
+        else Format.asprintf "%a * p[%s]" Expr.pp l.b (pname l.g)
+      in
+      Format.fprintf ppf "  [%s] %s = %s%s@," l.array lhs rhs
+        (if Expr.is_zero l.c then ""
+         else Format.asprintf " + %a" Expr.pp l.c))
+    t.locality;
+  Format.fprintf ppf "Load-balance constraints:@,";
+  List.iter
+    (fun (b : bound) ->
+      Format.fprintf ppf "  1 <= p[%s] <= %a = %d@," (pname b.k) Expr.pp
+        b.hi_expr b.hi)
+    t.bounds;
+  Format.fprintf ppf
+    "Affinity constraints: implicit (one variable per phase; the@,\
+    \  paper's p_k1 = p_k2 = ... rows are folded into p_k)@,";
+  Format.fprintf ppf "Storage constraints:@,";
+  List.iter
+    (fun (s : storage) ->
+      Format.fprintf ppf "  [%s] %a * p[%s] <= %a  (%s, = %d)@," s.array
+        Expr.pp s.coeff_expr (pname s.k) Expr.pp s.limit_expr
+        (match s.kind with `Shifted -> "Delta_d" | `Reverse -> "Delta_r/2")
+        s.limit)
+    t.storage;
+  Format.fprintf ppf "@]"

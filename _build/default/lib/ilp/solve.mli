@@ -1,0 +1,26 @@
+(** Exact minimization of the parallel-overhead objective (Eq. 7).
+
+    The locality (L-edge) equalities tie the [p_k] of each connected
+    component of the constraint graph to a single representative, so
+    the feasible set is a union of short arithmetic progressions; the
+    objective's D terms contain ceilings, making it non-linear - we
+    therefore enumerate the representative exactly rather than relax.
+    {!Ilp_solver} remains available for linear objectives and is tested
+    against this enumerator. *)
+
+type result = {
+  p : int array;  (** chosen chunk per phase, CYCLIC(p_k) *)
+  d_cost : float;  (** total load-unbalance cost *)
+  c_cost : float;  (** total communication cost *)
+  objective : float;
+  broken : (string * int * int) list;
+      (** L edges (array, k, g) the solver had to violate (treated as
+          extra C edges); empty in well-posed instances *)
+}
+
+val solve : Model.t -> Cost.machine -> result
+
+val communication_words : Locality.Lcg.t -> array:string -> phase_idx:int -> int
+(** Footprint (distinct addresses) of one phase's accesses to one
+    array under the LCG environment - the word volume a C edge into
+    that phase redistributes. *)

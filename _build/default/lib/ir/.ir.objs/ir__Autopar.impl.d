@@ -1,0 +1,1 @@
+lib/ir/autopar.ml: Assume Enumerate Env Expr Hashtbl List Option Random String Symbolic Types

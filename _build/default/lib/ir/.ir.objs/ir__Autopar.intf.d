@@ -1,0 +1,1 @@
+lib/ir/autopar.mli: Env Symbolic Types

@@ -1,0 +1,1 @@
+lib/ir/build.mli: Assume Expr Symbolic Types

@@ -1,0 +1,1 @@
+lib/ir/enumerate.ml: Env Hashtbl List Normalize String Symbolic Types

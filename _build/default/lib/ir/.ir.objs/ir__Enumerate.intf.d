@@ -1,0 +1,1 @@
+lib/ir/enumerate.mli: Env Hashtbl Symbolic Types

@@ -1,0 +1,1 @@
+lib/ir/inline.ml: Expr Linearize List String Symbolic Types

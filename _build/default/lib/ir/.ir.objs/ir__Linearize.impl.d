@@ -1,0 +1,1 @@
+lib/ir/linearize.ml: Expr List Symbolic

@@ -1,0 +1,1 @@
+lib/ir/liveness.ml: Array Assume Enumerate Format Hashtbl List Random String Symbolic Types

@@ -1,0 +1,1 @@
+lib/ir/phase.ml: Assume Expr Linearize List Normalize String Symbolic Types

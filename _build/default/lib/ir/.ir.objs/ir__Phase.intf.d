@@ -1,0 +1,1 @@
+lib/ir/phase.mli: Assume Expr Symbolic Types

@@ -1,0 +1,1 @@
+lib/ir/types.ml: Assume Expr Format List String Symbolic

@@ -1,0 +1,49 @@
+(** Automatic parallel-loop detection: the Polaris stand-in.
+
+    The paper assumes an auto-parallelizer has already marked one
+    parallel loop per phase.  This module provides that step for
+    programs written without markings: for each phase it finds the
+    outermost loop whose iterations carry no dependence and marks it
+    [parallel] (clearing any deeper marking, preserving the at-most-one
+    phase invariant).
+
+    The dependence test is dynamic and exact per sample, in the spirit
+    of this repo's oracle-first approach: under each sampled parameter
+    environment the loop's iterations are executed abstractly and their
+    access sets intersected - a loop is independent iff no address
+    written by one iteration is touched by another.  Sampling makes the
+    verdict probabilistic in the same sense as {!Symbolic.Probe}; a
+    loop is only marked when every sample agrees, so false positives
+    require an access pattern that changes shape between samples.
+
+    Per-iteration scratch (an address always written before read within
+    the same iteration, and dead after the loop) does {e not} block
+    parallelization - that is privatization, handled downstream by
+    {!Liveness}. *)
+
+open Symbolic
+open Types
+
+val independent :
+  program -> Env.t -> phase -> loop_path:int list -> bool
+(** Is the loop reached by descending [loop_path] (child indices from
+    the nest root, [] = the root loop) free of loop-carried
+    dependences under [env]? *)
+
+val mark_phase : ?envs:Env.t list -> program -> phase -> phase
+(** Re-mark the phase: outermost independent loop becomes the parallel
+    one; all other markings are cleared.  [envs] defaults to 3 samples
+    of the program's parameter domains. *)
+
+val mark : ?envs:Env.t list -> program -> program
+(** [mark_phase] over every phase. *)
+
+val recognize_reductions : ?envs:Env.t list -> program -> program
+(** Reduction privatization, the transformation Polaris applies before
+    marking: a phase whose outermost loop is blocked {e only} by a
+    scalar accumulator ([... S(c) ... = ... S(c) ...] with a
+    loop-invariant subscript) is split into a parallel partial-
+    accumulation phase over a fresh [__red_S] array (one slot per
+    iteration) and a short sequential combine phase folding the slots
+    back into [S(c)].  Phases where the pattern does not apply are left
+    untouched; run {!mark} afterwards to parallelize the result. *)

@@ -1,0 +1,29 @@
+open Symbolic
+open Types
+
+let int = Expr.int
+let var = Expr.var
+let ( + ) = Expr.add
+let ( - ) = Expr.sub
+let ( * ) = Expr.mul
+let ( / ) = Expr.div
+let pow2 = Expr.pow2
+
+let doall v ~lo ~hi body =
+  Loop { var = v; lo; hi; step = Expr.one; parallel = true; body }
+
+let do_ v ~lo ~hi ?(step = Expr.one) body =
+  Loop { var = v; lo; hi; step; parallel = false; body }
+
+let read array index = { array; index; access = Read }
+let write array index = { array; index; access = Write }
+let assign ?(work = 1) refs = Assign { refs; work }
+
+let phase name = function
+  | Loop nest -> { phase_name = name; nest }
+  | Assign _ -> invalid_arg "Build.phase: phase body must be a loop nest"
+
+let array name dims = { name; dims }
+
+let program ?(repeats = false) ~name ~params ~arrays phases =
+  { prog_name = name; params; arrays; phases; repeats }

@@ -1,0 +1,61 @@
+open Symbolic
+open Types
+
+let iter (prog : program) (env : Env.t) (ph : phase) ~f =
+  let ph = Normalize.phase ph in
+  let dims_of = Hashtbl.create 8 in
+  let eval_dims env name =
+    match Hashtbl.find_opt dims_of name with
+    | Some d -> d
+    | None ->
+        let decl = array_decl prog name in
+        let d = List.map (Env.eval env) decl.dims in
+        Hashtbl.add dims_of name d;
+        d
+  in
+  let flat dims idx =
+    let rec go idx dims =
+      match (idx, dims) with
+      | [ i ], [ _ ] -> i
+      | i :: idx, d :: dims -> i + (d * go idx dims)
+      | [], [] -> 0
+      | _ -> invalid_arg "rank mismatch"
+    in
+    go idx dims
+  in
+  let rec walk env par = function
+    | Assign a ->
+        List.iteri
+          (fun k (r : array_ref) ->
+            let dims = eval_dims env r.array in
+            let idx = List.map (Env.eval env) r.index in
+            f ~par ~array:r.array ~addr:(flat dims idx) r.access
+              ~work:(if k = 0 then a.work else 0))
+          a.refs
+    | Loop l ->
+        let lo = Env.eval env l.lo and hi = Env.eval env l.hi in
+        for v = lo to hi do
+          let env = Env.add l.var v env in
+          let par = if l.parallel then Some v else par in
+          List.iter (walk env par) l.body
+        done
+  in
+  walk env None (Loop ph.nest)
+
+let addresses prog env ph ~array =
+  let acc = ref [] in
+  iter prog env ph ~f:(fun ~par:_ ~array:a ~addr access ~work:_ ->
+      if String.equal a array then acc := (addr, access) :: !acc);
+  List.rev !acc
+
+let address_set prog env ph ~array =
+  let tbl = Hashtbl.create 256 in
+  iter prog env ph ~f:(fun ~par:_ ~array:a ~addr _ ~work:_ ->
+      if String.equal a array then Hashtbl.replace tbl addr ());
+  tbl
+
+let iteration_addresses prog env ph ~array ~par =
+  let acc = ref [] in
+  iter prog env ph ~f:(fun ~par:p ~array:a ~addr access ~work:_ ->
+      if String.equal a array && p = Some par then acc := (addr, access) :: !acc);
+  List.rev !acc

@@ -1,0 +1,33 @@
+(** Concrete access enumeration: the ground-truth oracle.
+
+    Directly interprets a phase's loop nest under a concrete parameter
+    environment, producing every (array, flat address, access) event in
+    execution order.  Descriptor construction, coalescing, iteration
+    descriptors and the locality theorems are all validated against this
+    oracle in the test suite, and the DSM simulator uses it to replay
+    memory traffic. *)
+
+open Symbolic
+open Types
+
+val iter :
+  program ->
+  Env.t ->
+  phase ->
+  f:(par:int option -> array:string -> addr:int -> access -> work:int -> unit) ->
+  unit
+(** [par] is the current normalized parallel-loop iteration (or [None]
+    when the phase has no parallel loop or the site is outside it).
+    [work] is the owning statement's abstract cost, reported once per
+    statement execution on its first reference (0 on subsequent refs of
+    the same statement instance). *)
+
+val addresses :
+  program -> Env.t -> phase -> array:string -> (int * access) list
+(** All events for one array, execution order (with duplicates). *)
+
+val address_set : program -> Env.t -> phase -> array:string -> (int, unit) Hashtbl.t
+
+val iteration_addresses :
+  program -> Env.t -> phase -> array:string -> par:int -> (int * access) list
+(** Events of one parallel iteration only. *)

@@ -1,0 +1,73 @@
+open Symbolic
+open Types
+
+type actual = { target : string; base : Expr.t }
+
+type subroutine = {
+  sub_name : string;
+  formals : array_decl list;
+  body : phase list;
+}
+
+type call = {
+  sub : subroutine;
+  bindings : (string * actual) list;
+  tag : string;
+}
+
+exception Bad_call of string
+
+let expand (c : call) : phase list =
+  let formal_dims name =
+    List.find_opt (fun (f : array_decl) -> String.equal f.name name) c.sub.formals
+  in
+  let rewrite_ref (r : array_ref) : array_ref =
+    match formal_dims r.array with
+    | None -> r (* caller global, untouched *)
+    | Some f -> (
+        match List.assoc_opt r.array c.bindings with
+        | None -> raise (Bad_call ("unbound formal " ^ r.array ^ " in " ^ c.sub.sub_name))
+        | Some actual ->
+            (* storage-sequence association: the formal's multi-dim view
+               linearizes into the actual's flat section *)
+            let flat =
+              Expr.add actual.base (Linearize.address ~dims:f.dims r.index)
+            in
+            { array = actual.target; index = [ flat ]; access = r.access })
+  in
+  let rec rewrite_stmt = function
+    | Assign a -> Assign { a with refs = List.map rewrite_ref a.refs }
+    | Loop l -> Loop { l with body = List.map rewrite_stmt l.body }
+  in
+  List.map
+    (fun (ph : phase) ->
+      match rewrite_stmt (Loop ph.nest) with
+      | Loop nest -> { phase_name = c.tag ^ "_" ^ ph.phase_name; nest }
+      | Assign _ -> assert false)
+    c.sub.body
+
+let program_with_calls ?(repeats = false) ~name ~params ~arrays items =
+  (* Every call target must be flat (rank 1) in the caller. *)
+  let phases =
+    List.concat_map
+      (function
+        | `Phase ph -> [ ph ]
+        | `Call c ->
+            List.iter
+              (fun (_, (a : actual)) ->
+                match
+                  List.find_opt
+                    (fun (d : array_decl) -> String.equal d.name a.target)
+                    arrays
+                with
+                | Some d when List.length d.dims = 1 -> ()
+                | Some _ ->
+                    raise
+                      (Bad_call
+                         (a.target ^ " must be declared flat to be passed by section"))
+                | None -> raise (Bad_call ("undeclared actual " ^ a.target)))
+              c.bindings;
+            expand c)
+      items
+  in
+  { prog_name = name; params; arrays; phases; repeats }

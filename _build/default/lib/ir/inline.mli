@@ -1,0 +1,55 @@
+(** Inter-procedural support: subroutines and call-site inlining.
+
+    The paper's descriptors survive {e array reshaping} across
+    subroutine boundaries - a callee may view a slice of the caller's
+    array as a fresh array of different rank - because everything is
+    linearized to flat addresses.  This module provides the mechanism:
+    a subroutine is a parametrized phase list over formal arrays;
+    [expand] splices a call into the caller by rewriting every formal
+    reference into the actual array with the actual's base offset, in
+    flat address space.
+
+    A call site binds each formal to an {e actual section}: the target
+    array, a flat base-offset expression, and (implicitly) the formal's
+    own dims for subscript linearization - exactly Fortran's
+    storage-sequence association, e.g. passing [X(K*N + 1)] of a
+    1-D [X(N*M)] to a subroutine declaring its dummy as [A(N)], or
+    viewing it as an [A(N1, N2)] matrix. *)
+
+open Symbolic
+open Types
+
+type actual = {
+  target : string;  (** caller array the formal aliases *)
+  base : Expr.t;  (** flat offset of the section within [target] *)
+}
+
+type subroutine = {
+  sub_name : string;
+  formals : array_decl list;  (** dummy arrays with their callee-view dims *)
+  body : phase list;  (** phases over the formals (and caller globals) *)
+}
+
+type call = {
+  sub : subroutine;
+  bindings : (string * actual) list;  (** formal name -> actual section *)
+  tag : string;  (** phase-name prefix to keep call sites distinct *)
+}
+
+exception Bad_call of string
+
+val expand : call -> phase list
+(** The callee's phases with every formal reference rewritten to the
+    actual array at the actual's base offset (flat address space); the
+    loop structure is untouched, so descriptors of the result reflect
+    the reshaped view.
+    @raise Bad_call on an unbound formal. *)
+
+val program_with_calls :
+  ?repeats:bool ->
+  name:string ->
+  params:Assume.t ->
+  arrays:array_decl list ->
+  [ `Phase of phase | `Call of call ] list ->
+  program
+(** Build a program from a mix of direct phases and call sites. *)

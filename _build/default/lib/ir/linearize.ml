@@ -1,0 +1,16 @@
+open Symbolic
+
+let address ~dims index =
+  if List.length dims <> List.length index then
+    invalid_arg "Linearize.address: rank mismatch";
+  (* i1 + d1*(i2 + d2*(i3 + ...)); the last extent is never used. *)
+  let rec go index dims =
+    match (index, dims) with
+    | [ i ], [ _ ] -> i
+    | i :: index, d :: dims -> Expr.add i (Expr.mul d (go index dims))
+    | [], [] -> Expr.zero
+    | _ -> assert false
+  in
+  go index dims
+
+let size ~dims = Expr.prod dims

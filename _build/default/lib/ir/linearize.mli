@@ -1,0 +1,14 @@
+(** Column-major (Fortran) array linearization.
+
+    Multi-dimensional arrays are flattened to one dimension before
+    descriptor construction, as the paper assumes (Sec. 2).  For an
+    array with extents [d1; d2; ...] and zero-based subscripts
+    [i1; i2; ...], the flat address is [i1 + d1*(i2 + d2*(i3 + ...))]. *)
+
+open Symbolic
+
+val address : dims:Expr.t list -> Expr.t list -> Expr.t
+(** @raise Invalid_argument on rank mismatch. *)
+
+val size : dims:Expr.t list -> Expr.t
+(** Total element count. *)

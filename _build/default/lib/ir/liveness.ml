@@ -1,0 +1,110 @@
+open Symbolic
+open Types
+
+type attr = R | W | RW | P
+
+let equal_attr a b =
+  match (a, b) with
+  | R, R | W, W | RW, RW | P, P -> true
+  | (R | W | RW | P), _ -> false
+
+let attr_to_string = function R -> "R" | W -> "W" | RW -> "R/W" | P -> "P"
+let pp_attr ppf a = Format.pp_print_string ppf (attr_to_string a)
+
+let static_attr _prog ph ~array =
+  let refs =
+    stmt_refs (Loop ph.nest) |> List.filter (fun r -> String.equal r.array array)
+  in
+  let has k = List.exists (fun r -> equal_access r.access k) refs in
+  match (has Read, has Write) with
+  | true, true -> RW
+  | true, false -> R
+  | false, true -> W
+  | false, false -> R
+
+let def_before_use prog env ph ~array =
+  (* Per parallel iteration, every read must hit a location already
+     written by the same iteration. *)
+  let written = Hashtbl.create 64 in
+  let current = ref None in
+  let ok = ref true in
+  Enumerate.iter prog env ph ~f:(fun ~par ~array:a ~addr access ~work:_ ->
+      if String.equal a array then begin
+        if par <> !current then begin
+          Hashtbl.reset written;
+          current := par
+        end;
+        match access with
+        | Write -> Hashtbl.replace written addr ()
+        | Read -> if not (Hashtbl.mem written addr) then ok := false
+      end);
+  !ok
+
+let dead_after prog env k ~array =
+  (* Forward scan over the phases executed after phase k (wrapping once
+     when the program repeats): a location written by k is live if some
+     later phase reads it before overwriting it. *)
+  let exposed = Hashtbl.create 64 in
+  (* start: all addresses phase k writes *)
+  Enumerate.iter prog env (List.nth prog.phases k) ~f:(fun ~par:_ ~array:a ~addr access ~work:_ ->
+      if String.equal a array && equal_access access Write then
+        Hashtbl.replace exposed addr ());
+  let n = List.length prog.phases in
+  let order =
+    (* Phases after k in execution order; with repetition the whole
+       program runs again, including phase k's predecessors and k itself. *)
+    let tail = List.init (n - k - 1) (fun i -> k + 1 + i) in
+    if prog.repeats then tail @ List.init (n - List.length tail) (fun i -> i mod n)
+    else tail
+  in
+  let live = ref false in
+  List.iter
+    (fun g ->
+      if (not !live) && Hashtbl.length exposed > 0 then begin
+        let killed = Hashtbl.create 64 in
+        Enumerate.iter prog env (List.nth prog.phases g)
+          ~f:(fun ~par:_ ~array:a ~addr access ~work:_ ->
+            if String.equal a array then
+              match access with
+              | Read ->
+                  if Hashtbl.mem exposed addr && not (Hashtbl.mem killed addr)
+                  then live := true
+              | Write -> Hashtbl.replace killed addr ());
+        Hashtbl.iter (fun addr () -> Hashtbl.remove exposed addr) killed
+      end)
+    order;
+  (* A non-repeating program's arrays are outputs: values that survive
+     to program exit are live. *)
+  (not !live) && (prog.repeats || Hashtbl.length exposed = 0)
+
+let default_envs prog =
+  (* Small, deterministic parameter samples. *)
+  let st = Random.State.make [| 7; 13; 2029 |] in
+  List.init 3 (fun _ -> Assume.sample ~state:st prog.params)
+
+let attr ?envs prog k ~array =
+  let ph = List.nth prog.phases k in
+  match static_attr prog ph ~array with
+  | R -> R
+  | W | RW -> (
+      let envs = match envs with Some e -> e | None -> default_envs prog in
+      let privatizable =
+        envs <> []
+        && List.for_all
+             (fun env ->
+               def_before_use prog env ph ~array && dead_after prog env k ~array)
+             envs
+      in
+      if privatizable then P
+      else match static_attr prog ph ~array with W -> W | _ -> RW)
+  | P -> assert false
+
+let attrs ?envs prog =
+  let arrays = List.map (fun (a : array_decl) -> a.name) prog.arrays in
+  let envs = match envs with Some e -> e | None -> default_envs prog in
+  List.map
+    (fun name ->
+      ( name,
+        Array.init (List.length prog.phases) (fun k -> attr ~envs prog k ~array:name)
+      ))
+    arrays

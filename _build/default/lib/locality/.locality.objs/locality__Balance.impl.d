@@ -1,0 +1,1 @@
+lib/locality/balance.ml: Descriptor Env Expr Format Id List Option Probe Symbolic Symmetry

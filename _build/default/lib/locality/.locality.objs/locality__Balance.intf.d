@@ -1,0 +1,1 @@
+lib/locality/balance.mli: Descriptor Env Expr Format Id Symbolic

@@ -1,0 +1,1 @@
+lib/locality/chain.ml: Descriptor Format Hashtbl Lcg List Option Pd Region String Unionize

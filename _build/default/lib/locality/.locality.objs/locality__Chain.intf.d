@@ -1,0 +1,1 @@
+lib/locality/chain.mli: Descriptor Format Lcg Pd

@@ -1,0 +1,1 @@
+lib/locality/inter.ml: Balance Descriptor Id Intra Ir Option Symmetry Table1

@@ -1,0 +1,1 @@
+lib/locality/inter.mli: Balance Descriptor Env Id Ir Symbolic Symmetry Table1

@@ -1,0 +1,1 @@
+lib/locality/intra.ml: Descriptor Id Ir Symmetry

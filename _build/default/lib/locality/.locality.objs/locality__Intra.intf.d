@@ -1,0 +1,1 @@
+lib/locality/intra.mli: Descriptor Id Ir Symmetry

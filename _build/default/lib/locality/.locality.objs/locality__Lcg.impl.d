@@ -1,0 +1,1 @@
+lib/locality/lcg.ml: Array Balance Buffer Descriptor Enumerate Env Expr Format Hashtbl Id Inter Intra Ir List Liveness Pd Phase Printf Region Symbolic Symmetry Table1 Types Unionize

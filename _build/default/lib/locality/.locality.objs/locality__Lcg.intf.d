@@ -1,0 +1,1 @@
+lib/locality/lcg.mli: Balance Descriptor Env Expr Format Id Intra Ir Pd Symbolic Symmetry Table1

@@ -1,0 +1,1 @@
+lib/locality/stability.ml: Assume Format Ir Lcg List Option Random String Symbolic Table1

@@ -1,0 +1,1 @@
+lib/locality/stability.mli: Env Format Ir Symbolic Table1

@@ -1,0 +1,1 @@
+lib/locality/table1.ml: Format Ir List Printf

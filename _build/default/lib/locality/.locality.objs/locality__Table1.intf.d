@@ -1,0 +1,1 @@
+lib/locality/table1.mli: Format Ir

@@ -1,0 +1,216 @@
+open Symbolic
+open Descriptor
+open Ir
+
+type node = {
+  phase_idx : int;
+  name : string;
+  attr : Liveness.attr;
+  pd : Pd.t;
+  id : Id.t;
+  sym : Symmetry.t;
+  intra : Intra.verdict;
+  par_n : int;
+  par_expr : Expr.t;
+  work : int;
+}
+
+type edge = {
+  src : int;
+  dst : int;
+  label : Table1.label;
+  solution : Balance.solution option;
+  relation : Balance.relation option;
+  back : bool;
+}
+
+type graph = { array : string; nodes : node list; edges : edge list }
+
+type t = { prog : Types.program; env : Env.t; h : int; graphs : graph list }
+
+(* Total abstract work of a phase under the environment. *)
+let phase_work prog env ph =
+  let total = ref 0 in
+  Enumerate.iter prog env ph ~f:(fun ~par:_ ~array:_ ~addr:_ _ ~work ->
+      total := !total + work);
+  !total
+
+let build (prog : Types.program) ~env ~h : t =
+  let attrs = Liveness.attrs prog ~envs:[ env ] in
+  let phase_ctxs =
+    List.map (fun ph -> (ph, Phase.analyze prog ph)) prog.phases
+  in
+  let works =
+    List.map (fun (ph, _) -> phase_work prog env ph) phase_ctxs
+  in
+  let graphs =
+    List.map
+      (fun (decl : Types.array_decl) ->
+        let array = decl.name in
+        let attr_row = List.assoc array attrs in
+        let nodes =
+          List.concat
+            (List.mapi
+               (fun k ((ph : Types.phase), ctx) ->
+                 if List.mem array (Types.phase_arrays ph) then begin
+                   let pd = Unionize.simplify (Pd.of_phase ctx ~array) in
+                   let id = Id.of_pd pd in
+                   let attr = attr_row.(k) in
+                   let sym = Symmetry.analyze id in
+                   [
+                     {
+                       phase_idx = k;
+                       name = ph.phase_name;
+                       attr;
+                       pd;
+                       id;
+                       sym;
+                       intra = Intra.check ~sym ~attr id;
+                       par_n =
+                         (try Env.eval env (Phase.par_count ctx)
+                          with Expr.Non_integral _ | Not_found -> 1);
+                       par_expr = Phase.par_count ctx;
+                       work = List.nth works k;
+                     };
+                   ]
+                 end
+                 else [])
+               phase_ctxs)
+        in
+        let n = List.length nodes in
+        let mk_edge i j back =
+          let nk = List.nth nodes i and ng = List.nth nodes j in
+          let r =
+            Inter.label ~env ~h
+              {
+                attr_k = nk.attr;
+                attr_g = ng.attr;
+                id_k = nk.id;
+                id_g = ng.id;
+                sym_k = Some nk.sym;
+                sym_g = Some ng.sym;
+                nk = nk.par_n;
+                ng = ng.par_n;
+              }
+          in
+          {
+            src = i;
+            dst = j;
+            label = r.label;
+            solution = r.solution;
+            relation = r.relation;
+            back;
+          }
+        in
+        let edges =
+          if n <= 1 then []
+          else
+            List.init (n - 1) (fun i -> mk_edge i (i + 1) false)
+            @ (if prog.repeats then [ mk_edge (n - 1) 0 true ] else [])
+        in
+        { array; nodes; edges })
+      prog.arrays
+  in
+  { prog; env; h; graphs }
+
+let chains (g : graph) =
+  let n = List.length g.nodes in
+  if n = 0 then []
+  else
+    let breaks =
+      List.filter_map
+        (fun e ->
+          if (not e.back) && Table1.equal_label e.label L then None
+          else if e.back then None
+          else Some e.src)
+        g.edges
+    in
+    let rec go i current acc =
+      if i >= n then List.rev (List.rev current :: acc)
+      else if List.mem (i - 1) breaks then go (i + 1) [ i ] (List.rev current :: acc)
+      else go (i + 1) (i :: current) acc
+    in
+    go 1 [ 0 ] []
+
+let node_of_phase (g : graph) ~phase_idx =
+  List.find_opt (fun n -> n.phase_idx = phase_idx) g.nodes
+
+let halo (t : t) (node : node) =
+  match node.sym.overlap with
+  | Symmetry.No_overlap -> 0
+  | Symmetry.Overlap _ | Symmetry.Overlap_unknown -> (
+      try
+        let bounds par =
+          let tbl = Region.addresses t.env node.pd ~par:(Some par) in
+          Hashtbl.fold
+            (fun a () (lo, hi) -> (min lo a, max hi a))
+            tbl (max_int, min_int)
+        in
+        let _, ul0 = bounds 0 and lb1, _ = bounds 1 in
+        if ul0 = min_int || lb1 = max_int then 0 else max 0 (ul0 - lb1 + 1)
+      with Region.Not_rectangular _ | Expr.Non_integral _ | Not_found -> 0)
+
+let pp ppf (t : t) =
+  Format.fprintf ppf "@[<v>LCG (H=%d, %a)@," t.h Env.pp t.env;
+  List.iter
+    (fun (g : graph) ->
+      Format.fprintf ppf "@[<v 2>array %s:@," g.array;
+      List.iteri
+        (fun i (nd : node) ->
+          let out =
+            List.find_opt (fun e -> e.src = i && not e.back) g.edges
+          in
+          Format.fprintf ppf "%-4s (%s)%s  intra=%s@," nd.name
+            (Liveness.attr_to_string nd.attr)
+            (match out with
+            | Some e ->
+                Printf.sprintf "  --%s-->" (Table1.label_to_string e.label)
+            | None -> "")
+            (Intra.case_to_string nd.intra.case))
+        g.nodes;
+      Format.fprintf ppf "@]@,")
+    t.graphs;
+  Format.fprintf ppf "@]"
+
+let region_bounds (t : t) (node : node) ~par =
+  try
+    let tbl = Region.addresses t.env node.pd ~par:(Some par) in
+    let b =
+      Hashtbl.fold (fun a () (lo, hi) -> (min lo a, max hi a)) tbl
+        (max_int, min_int)
+    in
+    if fst b = max_int then None else Some b
+  with Region.Not_rectangular _ | Expr.Non_integral _ | Not_found -> None
+
+let to_dot (t : t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph lcg {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n";
+  List.iteri
+    (fun gi (g : graph) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  subgraph cluster_%d {\n    label=\"%s\";\n" gi g.array);
+      List.iteri
+        (fun i (n : node) ->
+          Buffer.add_string buf
+            (Printf.sprintf "    n%d_%d [label=\"%s (%s)\"];\n" gi i n.name
+               (Liveness.attr_to_string n.attr)))
+        g.nodes;
+      List.iter
+        (fun (e : edge) ->
+          let style =
+            match e.label with
+            | Table1.L -> "color=green"
+            | Table1.C -> "color=red, penwidth=2"
+            | Table1.D -> "style=dashed, color=gray"
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "    n%d_%d -> n%d_%d [label=\"%s\", %s%s];\n" gi
+               e.src gi e.dst
+               (Table1.label_to_string e.label)
+               style
+               (if e.back then ", constraint=false" else "")))
+        g.edges;
+      Buffer.add_string buf "  }\n")
+    t.graphs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

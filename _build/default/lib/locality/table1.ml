@@ -1,0 +1,67 @@
+type label = L | C | D
+
+let equal_label a b =
+  match (a, b) with L, L | C, C | D, D -> true | (L | C | D), _ -> false
+
+let label_to_string = function L -> "L" | C -> "C" | D -> "D"
+let pp_label ppf l = Format.pp_print_string ppf (label_to_string l)
+
+open Ir.Liveness
+
+let rows =
+  [
+    (R, R); (R, W); (R, RW); (R, P);
+    (W, R); (W, W); (W, RW); (W, P);
+    (RW, R); (RW, W); (RW, RW); (RW, P);
+    (P, W); (P, RW); (P, P);
+  ]
+
+(* Each row: (overlap+balanced, overlap+unbalanced,
+              no-overlap+balanced, no-overlap+unbalanced). *)
+let table =
+  [
+    ((R, R), (L, C, L, C));
+    ((R, W), (L, C, L, C));
+    ((R, RW), (L, C, L, C));
+    ((R, P), (D, D, D, D));
+    ((W, R), (C, C, L, C));
+    ((W, W), (C, C, L, C));
+    ((W, RW), (C, C, L, C));
+    ((W, P), (C, C, D, D));
+    ((RW, R), (L, C, L, C));
+    ((RW, W), (L, C, L, C));
+    ((RW, RW), (L, C, L, C));
+    ((RW, P), (D, D, D, D));
+    ((P, W), (D, D, D, D));
+    ((P, RW), (D, D, D, D));
+    ((P, P), (D, D, D, D));
+  ]
+
+let spec ak ag ~overlap ~balanced =
+  match
+    List.find_opt (fun ((a, g), _) -> equal_attr a ak && equal_attr g ag) table
+  with
+  | None -> None
+  | Some (_, (ob, ou, nb, nu)) ->
+      Some
+        (match (overlap, balanced) with
+        | true, true -> ob
+        | true, false -> ou
+        | false, true -> nb
+        | false, false -> nu)
+
+let pp_grid ppf () =
+  Format.fprintf ppf "%-12s | %-6s %-6s | %-6s %-6s@." "F_k - F_g" "Ov+Bal"
+    "Ov+Unb" "No+Bal" "No+Unb";
+  List.iter
+    (fun (ak, ag) ->
+      let cell overlap balanced =
+        match spec ak ag ~overlap ~balanced with
+        | None -> "-"
+        | Some l -> label_to_string l
+      in
+      Format.fprintf ppf "%-12s | %-6s %-6s | %-6s %-6s@."
+        (Printf.sprintf "%s - %s" (attr_to_string ak) (attr_to_string ag))
+        (cell true true) (cell true false) (cell false true)
+        (cell false false))
+    rows

@@ -1,0 +1,32 @@
+(** The paper's Table 1 - the 15 x 4 edge-label classification -
+    encoded verbatim as the executable specification.
+
+    Columns: does phase F_k exhibit parallel-iteration overlapping
+    storage, and does the balanced locality condition hold between F_k
+    and F_g.  Cells: L (locality exploitable), C (communication
+    required), D (un-coupled phases; the edge is later removed).
+
+    {!Inter.derive} computes the same function from Theorems 1-2; the
+    test suite checks the two agree on all 60 cells. *)
+
+type label = L | C | D
+
+val equal_label : label -> label -> bool
+val label_to_string : label -> string
+val pp_label : Format.formatter -> label -> unit
+
+val rows : (Ir.Liveness.attr * Ir.Liveness.attr) list
+(** The 15 attribute pairs of the table, in the paper's order. *)
+
+val spec :
+  Ir.Liveness.attr ->
+  Ir.Liveness.attr ->
+  overlap:bool ->
+  balanced:bool ->
+  label option
+(** The table cell; [None] for the P-R pair the paper omits (a
+    privatizable array is dead after the phase, so a following pure
+    read cannot occur in a correct program). *)
+
+val pp_grid : Format.formatter -> unit -> unit
+(** Render the full 15 x 4 table in the paper's layout. *)

@@ -1,0 +1,1 @@
+lib/symbolic/assume.ml: Env Expr Format List Random String

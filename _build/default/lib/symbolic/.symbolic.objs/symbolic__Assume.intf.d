@@ -1,0 +1,1 @@
+lib/symbolic/assume.mli: Env Expr Format Random

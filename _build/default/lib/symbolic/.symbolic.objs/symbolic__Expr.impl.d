@@ -1,0 +1,1 @@
+lib/symbolic/expr.ml: Format Hashtbl List Qnum Stdlib String

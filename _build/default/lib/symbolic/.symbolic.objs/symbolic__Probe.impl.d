@@ -1,0 +1,1 @@
+lib/symbolic/probe.ml: Assume Env Expr Fun Hashtbl Qnum Random String

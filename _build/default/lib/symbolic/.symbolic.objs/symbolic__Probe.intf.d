@@ -1,0 +1,1 @@
+lib/symbolic/probe.mli: Assume Env Expr

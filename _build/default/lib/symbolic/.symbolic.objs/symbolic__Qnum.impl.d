@@ -1,0 +1,1 @@
+lib/symbolic/qnum.ml: Format Printf Stdlib

@@ -1,0 +1,1 @@
+lib/symbolic/qnum.mli: Format

@@ -1,0 +1,1 @@
+lib/symbolic/range.ml: Assume Env Expr List Option Probe Qnum String

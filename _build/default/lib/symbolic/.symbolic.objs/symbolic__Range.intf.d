@@ -1,0 +1,1 @@
+lib/symbolic/range.mli: Assume Expr

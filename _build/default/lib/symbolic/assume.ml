@@ -1,0 +1,52 @@
+type domain =
+  | Int_range of int * int
+  | Pow2_of of string
+  | Expr_range of Expr.t * Expr.t
+
+type t = (string * domain) list
+
+let empty = []
+let add t v d = t @ [ (v, d) ]
+let of_list l = l
+let to_list t = t
+let vars t = List.map fst t
+let domain_of t v = List.assoc_opt v t
+
+let set_domain t v d =
+  if List.mem_assoc v t then
+    List.map (fun (w, old) -> if String.equal w v then (w, d) else (w, old)) t
+  else t @ [ (v, d) ]
+
+let range_in_env t env v =
+  match List.assoc_opt v t with
+  | None -> None
+  | Some (Int_range (lo, hi)) -> Some (lo, hi)
+  | Some (Pow2_of w) ->
+      let e = 1 lsl Env.find env w in
+      Some (e, e)
+  | Some (Expr_range (lo, hi)) -> Some (Env.eval env lo, Env.eval env hi)
+
+let sample ?state t =
+  let st = match state with Some s -> s | None -> Random.State.make_self_init () in
+  let pick lo hi = if hi <= lo then lo else lo + Random.State.int st (hi - lo + 1) in
+  List.fold_left
+    (fun env (v, d) ->
+      let value =
+        match d with
+        | Int_range (lo, hi) -> pick lo hi
+        | Pow2_of w -> 1 lsl Env.find env w
+        | Expr_range (lo, hi) -> pick (Env.eval env lo) (Env.eval env hi)
+      in
+      Env.add v value env)
+    Env.empty t
+
+let pp_domain ppf = function
+  | Int_range (lo, hi) -> Format.fprintf ppf "[%d..%d]" lo hi
+  | Pow2_of v -> Format.fprintf ppf "2^%s" v
+  | Expr_range (lo, hi) -> Format.fprintf ppf "[%a..%a]" Expr.pp lo Expr.pp hi
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+    (fun ppf (v, d) -> Format.fprintf ppf "%s in %a" v pp_domain d)
+    ppf t

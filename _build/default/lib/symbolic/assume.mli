@@ -1,0 +1,41 @@
+(** Variable-domain assumptions.
+
+    Describes, in declaration order, the domain from which each symbolic
+    variable draws its values.  Later entries may have bounds that are
+    expressions over earlier variables (loop indices with non-constant
+    limits, such as [0 <= J <= P*2^(-L) - 1] in the TFFT2 nest).  The
+    order is the sampling order used by {!Probe}. *)
+
+type domain =
+  | Int_range of int * int
+      (** Free parameter drawn uniformly from a concrete interval. *)
+  | Pow2_of of string
+      (** The value is [2^v] for the (already declared) variable [v];
+          models the paper's [P = 2^p] input constraints. *)
+  | Expr_range of Expr.t * Expr.t
+      (** Loop index: inclusive bounds, expressions over earlier vars. *)
+
+type t
+
+val empty : t
+val add : t -> string -> domain -> t
+val of_list : (string * domain) list -> t
+val to_list : t -> (string * domain) list
+val vars : t -> string list
+val domain_of : t -> string -> domain option
+
+val set_domain : t -> string -> domain -> t
+(** Replace a variable's domain in place (preserving order); appends
+    when absent. *)
+
+val sample : ?state:Random.State.t -> t -> Env.t
+(** Draw one complete assignment consistent with every domain, in
+    declaration order.  Empty [Expr_range] intervals (hi < lo) clamp to
+    the lower bound, which matches a zero-trip loop's index staying at
+    its initial value. *)
+
+val range_in_env : t -> Env.t -> string -> (int * int) option
+(** Concrete inclusive range of one variable once every earlier variable
+    is fixed by [env]. *)
+
+val pp : Format.formatter -> t -> unit

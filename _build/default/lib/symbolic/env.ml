@@ -1,0 +1,21 @@
+module M = Map.Make (String)
+
+type t = int M.t
+
+let empty = M.empty
+let of_list l = List.fold_left (fun m (k, v) -> M.add k v m) M.empty l
+let add = M.add
+let find env v = match M.find_opt v env with Some x -> x | None -> raise Not_found
+let find_opt env v = M.find_opt v env
+let mem env v = M.mem v env
+let bindings = M.bindings
+let lookup env v = Qnum.of_int (find env v)
+let eval env e = Expr.eval_int (lookup env) e
+let eval_q env e = Expr.eval (lookup env) e
+
+let pp ppf env =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (k, v) -> Format.fprintf ppf "%s=%d" k v))
+    (bindings env)

@@ -1,0 +1,22 @@
+(** Concrete integer assignments for symbolic variables. *)
+
+type t
+
+val empty : t
+val of_list : (string * int) list -> t
+val add : string -> int -> t -> t
+val find : t -> string -> int
+(** @raise Not_found when unbound. *)
+
+val find_opt : t -> string -> int option
+val mem : t -> string -> bool
+val bindings : t -> (string * int) list
+
+val lookup : t -> string -> Qnum.t
+(** Shape expected by {!Expr.eval}. *)
+
+val eval : t -> Expr.t -> int
+(** [eval env e] = {!Expr.eval_int} under [env]. *)
+
+val eval_q : t -> Expr.t -> Qnum.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,312 @@
+type atom =
+  | Var of string
+  | Pow2 of t
+  | Floor_div of t * t
+  | Ceil_div of t * t
+  | Opaque_div of t * t
+
+and mono = (atom * int) list
+and t = (mono * Qnum.t) list
+
+exception Non_integral of string
+
+(* Structural comparison is sound here: the type contains only strings,
+   ints and nested lists, and normalization sorts every level. *)
+let compare_atom (a : atom) (b : atom) = Stdlib.compare a b
+let compare_mono (a : mono) (b : mono) = Stdlib.compare a b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let equal a b = compare a b = 0
+
+let zero : t = []
+let q c : t = if Qnum.is_zero c then [] else [ ([], c) ]
+let int n = q (Qnum.of_int n)
+let one = int 1
+let var v : t = [ ([ (Var v, 1) ], Qnum.one) ]
+let is_zero (e : t) = e = []
+
+let to_q = function
+  | [] -> Some Qnum.zero
+  | [ ([], c) ] -> Some c
+  | _ -> None
+
+let to_int e =
+  match to_q e with
+  | Some c when Qnum.is_integer c -> Some (Qnum.to_int c)
+  | _ -> None
+
+let const_part (e : t) =
+  match List.assoc_opt [] e with Some c -> c | None -> Qnum.zero
+
+(* Merge two sorted term lists, combining coefficients. *)
+let add (a : t) (b : t) : t =
+  let rec go a b =
+    match (a, b) with
+    | [], r | r, [] -> r
+    | (ma, ca) :: ta, (mb, cb) :: tb ->
+        let c = compare_mono ma mb in
+        if c < 0 then (ma, ca) :: go ta b
+        else if c > 0 then (mb, cb) :: go a tb
+        else
+          let s = Qnum.add ca cb in
+          if Qnum.is_zero s then go ta tb else (ma, s) :: go ta tb
+  in
+  go a b
+
+let scale c (e : t) : t =
+  if Qnum.is_zero c then [] else List.map (fun (m, k) -> (m, Qnum.mul c k)) e
+
+let neg e = scale Qnum.minus_one e
+let sub a b = add a (neg b)
+let sum es = List.fold_left add zero es
+
+(* [split_const e] = (constant integer part, residue) used to normalize
+   Pow2 exponents: 2^(L-1) --> (1/2) * 2^L. Only the integer part of the
+   constant is extracted so exponents stay integral. *)
+let split_const (e : t) : int * t =
+  let c = const_part e in
+  if Qnum.is_zero c then (0, e)
+  else
+    let k = Qnum.floor c in
+    if k = 0 then (0, e) else (k, add e (q (Qnum.of_int (-k))))
+
+(* Build a normalized monomial*coefficient from a raw atom^exp listing.
+   All Pow2 atoms are fused: their exponents are summed (weighted by the
+   integer power) and any constant part of the sum moves into the
+   coefficient. *)
+let rec norm_factors (factors : (atom * int) list) (coeff : Qnum.t) : t =
+  let pow2_exp = ref zero in
+  let others = ref [] in
+  List.iter
+    (fun (a, k) ->
+      if k <> 0 then
+        match a with
+        | Pow2 e -> pow2_exp := add !pow2_exp (scale (Qnum.of_int k) e)
+        | a -> others := (a, k) :: !others)
+    factors;
+  let kconst, residue = split_const !pow2_exp in
+  let coeff = Qnum.mul coeff (Qnum.pow2 kconst) in
+  let others =
+    if is_zero residue then !others else (Pow2 residue, 1) :: !others
+  in
+  (* Combine duplicate atoms by summing exponents. *)
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (a, k) ->
+      match Hashtbl.find_opt tbl a with
+      | Some r -> r := !r + k
+      | None ->
+          Hashtbl.add tbl a (ref k);
+          order := a :: !order)
+    others;
+  let mono =
+    List.filter_map
+      (fun a ->
+        let k = !(Hashtbl.find tbl a) in
+        if k = 0 then None else Some (a, k))
+      !order
+  in
+  let mono = List.sort (fun (a, _) (b, _) -> compare_atom a b) mono in
+  if Qnum.is_zero coeff then [] else [ (mono, coeff) ]
+
+and mul_term (ma, ca) (mb, cb) : t = norm_factors (ma @ mb) (Qnum.mul ca cb)
+
+and mul (a : t) (b : t) : t =
+  List.fold_left
+    (fun acc ta -> List.fold_left (fun acc tb -> add acc (mul_term ta tb)) acc b)
+    zero a
+
+let prod es = List.fold_left mul one es
+
+let pow2 (e : t) : t =
+  match to_q e with
+  | Some c when Qnum.is_integer c -> q (Qnum.pow2 (Qnum.to_int c))
+  | _ -> norm_factors [ (Pow2 e, 1) ] Qnum.one
+
+(* Divide term-wise by a single monomial: subtract exponents. *)
+let div_by_mono (e : t) (dm : mono) (dc : Qnum.t) : t =
+  let inv_factors = List.map (fun (a, k) -> (a, -k)) dm in
+  List.fold_left
+    (fun acc (m, c) -> add acc (norm_factors (m @ inv_factors) (Qnum.div c dc)))
+    zero e
+
+let div (a : t) (b : t) : t =
+  match b with
+  | [] -> raise Qnum.Division_by_zero
+  | [ (dm, dc) ] -> div_by_mono a dm dc
+  | _ ->
+      if equal a b then one
+      else if is_zero a then zero
+      else norm_factors [ (Opaque_div (a, b), 1) ] Qnum.one
+
+(* An expression is provably integer-valued when every coefficient is an
+   integer and every atom is integer-valued with non-negative exponent.
+   Variables are integers by construction (loop indices / parameters);
+   Pow2 is integral only for provably non-negative exponents, which we
+   cannot see locally, so it is excluded unless the exponent is a bare
+   variable-free... we keep it conservative: Pow2 counts only when its
+   exponent has non-negative constant and no negative terms - too strong
+   to decide locally, so Pow2 atoms simply disqualify. *)
+let provably_integral (e : t) =
+  List.for_all
+    (fun (m, c) ->
+      Qnum.is_integer c
+      && List.for_all
+           (fun (a, k) ->
+             k >= 0
+             && match a with Var _ | Floor_div _ | Ceil_div _ -> true | _ -> false)
+           m)
+    e
+
+let floor_div (a : t) (b : t) : t =
+  match (to_q a, to_q b) with
+  | Some ca, Some cb when not (Qnum.is_zero cb) ->
+      int (Qnum.floor (Qnum.div ca cb))
+  | _, Some cb when Qnum.equal cb Qnum.one -> a
+  | _ ->
+      let e = div a b in
+      let exact = not (List.exists (fun (m, _) ->
+          List.exists (fun (a, _) -> match a with Opaque_div _ -> true | _ -> false) m) e)
+      in
+      if exact && provably_integral e then e
+      else norm_factors [ (Floor_div (a, b), 1) ] Qnum.one
+
+let ceil_div (a : t) (b : t) : t =
+  match (to_q a, to_q b) with
+  | Some ca, Some cb when not (Qnum.is_zero cb) ->
+      int (Qnum.ceil (Qnum.div ca cb))
+  | _, Some cb when Qnum.equal cb Qnum.one -> a
+  | _ ->
+      let e = div a b in
+      let exact = not (List.exists (fun (m, _) ->
+          List.exists (fun (a, _) -> match a with Opaque_div _ -> true | _ -> false) m) e)
+      in
+      if exact && provably_integral e then e
+      else norm_factors [ (Ceil_div (a, b), 1) ] Qnum.one
+
+let rec vars_atom acc = function
+  | Var v -> v :: acc
+  | Pow2 e -> vars_expr acc e
+  | Floor_div (a, b) | Ceil_div (a, b) | Opaque_div (a, b) ->
+      vars_expr (vars_expr acc a) b
+
+and vars_expr acc (e : t) =
+  List.fold_left
+    (fun acc (m, _) -> List.fold_left (fun acc (a, _) -> vars_atom acc a) acc m)
+    acc e
+
+let vars e = List.sort_uniq String.compare (vars_expr [] e)
+let mem_var v e = List.mem v (vars e)
+
+(* Rebuild an expression, mapping variables through [f]. *)
+let rec map_vars (f : string -> t) (e : t) : t =
+  List.fold_left
+    (fun acc (m, c) ->
+      let term =
+        List.fold_left
+          (fun acc (a, k) -> mul acc (atom_power f a k))
+          (q c) m
+      in
+      add acc term)
+    zero e
+
+and atom_power f a k : t =
+  let base =
+    match a with
+    | Var v -> f v
+    | Pow2 e -> pow2 (map_vars f e)
+    | Floor_div (x, y) -> floor_div (map_vars f x) (map_vars f y)
+    | Ceil_div (x, y) -> ceil_div (map_vars f x) (map_vars f y)
+    | Opaque_div (x, y) -> div (map_vars f x) (map_vars f y)
+  in
+  if k >= 0 then
+    let rec pow acc n = if n = 0 then acc else pow (mul acc base) (n - 1) in
+    pow one k
+  else
+    (* Negative power: divide 1 by base^|k|. *)
+    let rec pow acc n = if n = 0 then acc else pow (mul acc base) (n - 1) in
+    div one (pow one (-k))
+
+let subst v by e = map_vars (fun w -> if String.equal w v then by else var w) e
+
+let subst_env bindings e =
+  map_vars
+    (fun w -> match List.assoc_opt w bindings with Some b -> b | None -> var w)
+    e
+
+let linear_in v (e : t) =
+  let uses_v_atom a = List.mem v (List.sort_uniq String.compare (vars_atom [] a)) in
+  let rec go a b = function
+    | [] -> Some (a, b)
+    | (m, c) :: rest -> (
+        let v_factors, others = List.partition (fun (at, _) -> uses_v_atom at) m in
+        match v_factors with
+        | [] -> go a (add b [ (m, c) ]) rest
+        | [ (Var _, 1) ] -> go (add a [ (others, c) ]) b rest
+        | _ -> None)
+  in
+  go zero zero e
+
+let eval lookup (e : t) =
+  let rec eval_e (e : t) =
+    List.fold_left
+      (fun acc (m, c) ->
+        Qnum.add acc
+          (List.fold_left (fun acc (a, k) -> Qnum.mul acc (atom_val a k)) c m))
+      Qnum.zero e
+  and atom_val a k =
+    let base =
+      match a with
+      | Var v -> lookup v
+      | Pow2 e ->
+          let x = eval_e e in
+          if not (Qnum.is_integer x) then
+            raise (Non_integral "Pow2 exponent");
+          Qnum.pow2 (Qnum.to_int x)
+      | Floor_div (x, y) -> Qnum.of_int (Qnum.floor (Qnum.div (eval_e x) (eval_e y)))
+      | Ceil_div (x, y) -> Qnum.of_int (Qnum.ceil (Qnum.div (eval_e x) (eval_e y)))
+      | Opaque_div (x, y) -> Qnum.div (eval_e x) (eval_e y)
+    in
+    let rec pow acc n = if n = 0 then acc else pow (Qnum.mul acc base) (n - 1) in
+    if k >= 0 then pow Qnum.one k else Qnum.inv (pow Qnum.one (-k))
+  in
+  eval_e e
+
+let eval_int lookup e =
+  let v = eval lookup e in
+  if Qnum.is_integer v then Qnum.to_int v
+  else raise (Non_integral (Format.asprintf "value %a" Qnum.pp v))
+
+let rec pp_atom ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Pow2 e -> Format.fprintf ppf "2^(%a)" pp e
+  | Floor_div (a, b) -> Format.fprintf ppf "floor(%a / %a)" pp a pp b
+  | Ceil_div (a, b) -> Format.fprintf ppf "ceil(%a / %a)" pp a pp b
+  | Opaque_div (a, b) -> Format.fprintf ppf "(%a / %a)" pp a pp b
+
+and pp_mono ppf (m : mono) =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "*")
+    (fun ppf (a, k) ->
+      if k = 1 then pp_atom ppf a else Format.fprintf ppf "%a^%d" pp_atom a k)
+    ppf m
+
+and pp ppf (e : t) =
+  match e with
+  | [] -> Format.pp_print_string ppf "0"
+  | terms ->
+      List.iteri
+        (fun i (m, c) ->
+          let neg = Qnum.sign c < 0 in
+          if i = 0 then (if neg then Format.pp_print_string ppf "-")
+          else Format.pp_print_string ppf (if neg then " - " else " + ");
+          let c = Qnum.abs c in
+          match m with
+          | [] -> Qnum.pp ppf c
+          | _ ->
+              if not (Qnum.equal c Qnum.one) then
+                Format.fprintf ppf "%a*" Qnum.pp c;
+              pp_mono ppf m)
+        terms
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,102 @@
+(** Symbolic expressions in canonical sum-of-monomials form.
+
+    The expression class covers everything the paper's descriptors need:
+    polynomials over parameters and loop indices with rational
+    coefficients and [2^e] factors ([e] itself an expression), e.g.
+    [2*P*Q], [P * 2^(-L)], [J * 2^(L-1)], [(P-2) * 2^(-L) + 1].  Exact
+    and floor/ceil division are supported; divisions that cannot be
+    reduced are kept as opaque atoms so normalization never loses
+    information.
+
+    Normal form: a sorted list of (monomial, rational coefficient)
+    pairs; a monomial is a sorted list of (atom, integer exponent)
+    pairs; all [2^e] factors of a monomial are fused into a single
+    [Pow2] atom whose exponent has no constant term (the constant is
+    folded into the coefficient).  Two expressions denoting the same
+    polynomial-exponential function therefore compare structurally
+    equal whenever the rewrite rules suffice; [Probe] supplies the
+    randomized fallback for the residual cases. *)
+
+type atom =
+  | Var of string
+  | Pow2 of t  (** [2^e]; invariant: [e] is non-constant with zero constant term *)
+  | Floor_div of t * t  (** [floor (a / b)] where exact division failed *)
+  | Ceil_div of t * t  (** [ceil (a / b)] where exact division failed *)
+  | Opaque_div of t * t  (** [a / b] asserted exact but irreducible *)
+
+and mono = (atom * int) list
+and t = (mono * Qnum.t) list
+
+(** {1 Constructors} *)
+
+val zero : t
+val one : t
+val int : int -> t
+val q : Qnum.t -> t
+val var : string -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val scale : Qnum.t -> t -> t
+val sum : t list -> t
+val prod : t list -> t
+
+val pow2 : t -> t
+(** [pow2 e] is [2^e]. *)
+
+val div : t -> t -> t
+(** Exact division.  Always reduces when the divisor is a single
+    monomial (negative exponents are allowed); otherwise attempts
+    term-wise reduction and falls back to an [Opaque_div] atom. *)
+
+val floor_div : t -> t -> t
+val ceil_div : t -> t -> t
+
+(** {1 Inspection} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_zero : t -> bool
+val to_q : t -> Qnum.t option
+(** [Some c] iff the expression is the constant [c]. *)
+
+val to_int : t -> int option
+val const_part : t -> Qnum.t
+(** Coefficient of the empty monomial. *)
+
+val vars : t -> string list
+(** All variables occurring anywhere (sorted, deduplicated). *)
+
+val mem_var : string -> t -> bool
+
+val linear_in : string -> t -> (t * t) option
+(** [linear_in v e = Some (a, b)] when [e = a*v + b] with [v] occurring
+    nowhere in [a] or [b]; [None] if [e] is non-linear in [v]. *)
+
+(** {1 Transformation} *)
+
+val subst : string -> t -> t -> t
+(** [subst v by e] replaces every occurrence of variable [v] in [e]
+    (including inside [Pow2] exponents and division atoms) with [by],
+    then renormalizes. *)
+
+val subst_env : (string * t) list -> t -> t
+
+(** {1 Evaluation} *)
+
+exception Non_integral of string
+(** Raised when an integer is required (a [Pow2] exponent or a final
+    [eval_int]) but the value is fractional. *)
+
+val eval : (string -> Qnum.t) -> t -> Qnum.t
+(** @raise Non_integral if a [Pow2] exponent evaluates to a non-integer.
+    @raise Not_found if a variable is unbound. *)
+
+val eval_int : (string -> Qnum.t) -> t -> int
+(** @raise Non_integral if the result is fractional. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

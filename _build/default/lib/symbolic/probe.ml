@@ -1,0 +1,103 @@
+let samples = ref 64
+let probe_state = ref (Random.State.make [| 0x5eed; 2024 |])
+
+let reset_memo_hook : (unit -> unit) ref = ref (fun () -> ())
+
+let with_seed seed f =
+  let saved = !probe_state in
+  probe_state := Random.State.make [| seed |];
+  !reset_memo_hook ();
+  Fun.protect
+    ~finally:(fun () ->
+      probe_state := saved;
+      !reset_memo_hook ())
+    f
+
+let sample asm = Assume.sample ~state:!probe_state asm
+
+(* Bounded memo for the public predicates: probes are deterministic
+   given the seed policy, and the analysis re-asks the same questions
+   (stride comparisons, offset orders) thousands of times. *)
+let memo : (int * (string * Assume.domain) list * Expr.t * Expr.t, bool) Hashtbl.t =
+  Hashtbl.create 4096
+
+let () = reset_memo_hook := fun () -> Hashtbl.reset memo
+
+let memoized tag asm a b compute =
+  let key = (tag, Assume.to_list asm, a, b) in
+  match Hashtbl.find_opt memo key with
+  | Some r -> r
+  | None ->
+      if Hashtbl.length memo > 200_000 then Hashtbl.reset memo;
+      let r = compute () in
+      Hashtbl.add memo key r;
+      r
+
+(* Evaluate [f] on [!samples] sampled environments; return [Some true]
+   if the predicate holds everywhere, [Some false] if it fails
+   somewhere, [None] if some evaluation raised. *)
+let forall asm (f : Env.t -> bool) =
+  let ok = ref true in
+  (try
+     for _ = 1 to !samples do
+       let env = Assume.sample ~state:!probe_state asm in
+       if not (f env) then ok := false
+     done;
+     ()
+   with Expr.Non_integral _ | Not_found | Division_by_zero | Qnum.Division_by_zero ->
+     ok := false);
+  !ok
+
+let equal asm a b =
+  Expr.equal a b
+  || memoized 0 asm a b (fun () ->
+         forall asm (fun env -> Qnum.equal (Env.eval_q env a) (Env.eval_q env b)))
+
+let is_zero asm e = Expr.is_zero e || forall asm (fun env -> Qnum.is_zero (Env.eval_q env e))
+
+let sign asm e =
+  let signs = Hashtbl.create 3 in
+  let ok =
+    forall asm (fun env ->
+        Hashtbl.replace signs (Qnum.sign (Env.eval_q env e)) ();
+        true)
+  in
+  if not ok then None
+  else
+    match Hashtbl.fold (fun s () acc -> s :: acc) signs [] with
+    | [ s ] -> Some s
+    | _ -> None
+
+let nonneg asm e =
+  memoized 1 asm e Expr.zero (fun () ->
+      forall asm (fun env -> Qnum.sign (Env.eval_q env e) >= 0))
+let le asm a b = nonneg asm (Expr.sub b a)
+let lt asm a b = forall asm (fun env -> Qnum.compare (Env.eval_q env a) (Env.eval_q env b) < 0)
+let integral asm e =
+  memoized 3 asm e Expr.zero (fun () ->
+      forall asm (fun env -> Qnum.is_integer (Env.eval_q env e)))
+
+let divides asm d e =
+  memoized 2 asm d e (fun () ->
+      forall asm (fun env ->
+          let dv = Env.eval_q env d in
+          (not (Qnum.is_zero dv))
+          && Qnum.is_integer (Qnum.div (Env.eval_q env e) dv)))
+
+let constant_in asm v e =
+  if not (Expr.mem_var v e) then true
+  else
+    forall asm (fun env ->
+        match Assume.range_in_env asm env v with
+        | None -> false
+        | Some (lo, hi) ->
+            let value_at x = Expr.eval (fun w ->
+                if String.equal w v then Qnum.of_int x else Env.lookup env w) e
+            in
+            let reference = value_at lo in
+            let steps = min 4 (hi - lo) in
+            let rec check k =
+              k > steps
+              || (Qnum.equal (value_at (lo + k)) reference && check (k + 1))
+            in
+            check 1)

@@ -1,0 +1,46 @@
+(** Randomized decision procedures over the descriptor expression class.
+
+    Canonical-form normalization in {!Expr} proves most identities the
+    analysis needs; the residue (identities involving [Floor_div],
+    [Ceil_div] or [Opaque_div] atoms, and inequalities) is decided by
+    evaluating at sampled assignments drawn from an {!Assume} domain.
+    For the polynomial-exponential class this is polynomial identity
+    testing: agreement at enough random points over large ranges makes a
+    false positive vanishingly unlikely.  Every client treats a negative
+    answer conservatively (a missed simplification or a C label, never
+    an unsound L label), so probing cannot compromise soundness of the
+    locality claims - only precision.
+
+    All functions answer [false] (or [None]) if evaluation fails at any
+    sample (unbound variable, fractional [Pow2] exponent). *)
+
+val samples : int ref
+(** Number of sampled assignments per query (default 64). *)
+
+val with_seed : int -> (unit -> 'a) -> 'a
+(** Run a query deterministically (tests). *)
+
+val sample : Assume.t -> Env.t
+(** Draw one assignment from the probe's internal random state. *)
+
+val equal : Assume.t -> Expr.t -> Expr.t -> bool
+val is_zero : Assume.t -> Expr.t -> bool
+
+val sign : Assume.t -> Expr.t -> int option
+(** [Some s] when the expression has the same sign [s] (-1, 0, +1) at
+    every sample; [None] when the sign varies. *)
+
+val nonneg : Assume.t -> Expr.t -> bool
+val le : Assume.t -> Expr.t -> Expr.t -> bool
+val lt : Assume.t -> Expr.t -> Expr.t -> bool
+
+val integral : Assume.t -> Expr.t -> bool
+(** Whether the expression is integer-valued on every sample. *)
+
+val divides : Assume.t -> Expr.t -> Expr.t -> bool
+(** [divides asm d e]: is [e / d] an integer everywhere (and [d] never
+    zero)? *)
+
+val constant_in : Assume.t -> string -> Expr.t -> bool
+(** Whether the value is independent of variable [v]: evaluates the
+    expression at multiple values of [v] with everything else fixed. *)

@@ -1,0 +1,58 @@
+(** Exact rational arithmetic on native integers.
+
+    All descriptor algebra in this library uses exact rationals: strides
+    such as [P * 2^(-L)] produce rational coefficients during
+    normalization even though every final quantity of interest is an
+    integer.  Magnitudes stay far below 2{^62} for every workload in the
+    repo; overflow in the numerator/denominator products raises
+    [Overflow] rather than wrapping silently. *)
+
+type t = private { num : int; den : int }
+(** Invariant: [den > 0], [gcd num den = 1] (and [den = 1] when
+    [num = 0]). *)
+
+exception Overflow
+exception Division_by_zero
+
+val make : int -> int -> t
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+val minus_one : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+
+val to_int : t -> int
+(** @raise Invalid_argument if the value is not an integer. *)
+
+val to_float : t -> float
+
+val floor : t -> int
+(** Largest integer [<=] the value. *)
+
+val ceil : t -> int
+(** Smallest integer [>=] the value. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val pow2 : int -> t
+(** [pow2 k] is [2^k] for any integer [k], including negative [k]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,29 @@
+(** Symbolic range analysis by monotone bound substitution.
+
+    To bound an expression over a block of loop indices (e.g. the reach
+    of a subscript function over the sequential loops of a nest), each
+    index is eliminated innermost-first: the index is replaced by its
+    upper or lower bound expression according to the monotonicity of the
+    current expression in that index.  Monotonicity is established by
+    {!Probe} sampling, and the final symbolic bound is re-validated by
+    sampling against the original expression, so an incorrect bound is
+    reported as [None] (callers then fall back to conservative
+    behaviour) rather than silently used. *)
+
+type direction = Max | Min
+
+val eliminate :
+  Assume.t -> direction -> over:string list -> Expr.t -> Expr.t option
+(** [eliminate asm dir ~over e] returns a symbolic upper (resp. lower)
+    bound of [e] over all assignments of the variables in [over], as an
+    expression in the remaining variables.  [over] must be a subset of
+    [Assume.vars asm]; elimination proceeds in reverse declaration
+    order so that substituted bounds only mention earlier variables. *)
+
+val maximize : Assume.t -> over:string list -> Expr.t -> Expr.t option
+val minimize : Assume.t -> over:string list -> Expr.t -> Expr.t option
+
+val monotonicity :
+  Assume.t -> string -> Expr.t -> [ `Inc | `Dec | `Const | `Mixed ]
+(** Sampled monotonicity of the expression in one variable, everything
+    else drawn from the assumption domain. *)

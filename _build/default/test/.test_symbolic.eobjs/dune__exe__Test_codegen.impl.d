@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Codegen Codes Core Dsmsim Ir List Printf Probe String Symbolic

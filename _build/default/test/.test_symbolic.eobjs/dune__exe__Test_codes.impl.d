@@ -1,0 +1,1 @@
+test/test_codes.ml: Alcotest Codes Core Descriptor Dsmsim Enumerate Ilp Ir Lcg List Liveness Locality Phase Printf Probe String Symbolic Table1 Types

@@ -1,0 +1,1 @@
+test/test_dsmsim.ml: Alcotest Array Codes Comm Core Distribution Dsmsim Exec Ilp Ir List Printf Probe Symbolic Validate

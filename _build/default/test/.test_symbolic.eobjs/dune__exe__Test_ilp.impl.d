@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Codes Core Cost Distribution Expr Gen Ilp Ilp_solver Ir List Locality Lp Model Probe QCheck QCheck_alcotest Qnum Solve String Symbolic

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Assume Build Codes Core Enumerate Env Expr Float Format Ilp Ir List Locality Printf Probe QCheck QCheck_alcotest Stdlib String Symbolic Types

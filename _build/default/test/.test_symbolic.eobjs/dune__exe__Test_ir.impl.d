@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Assume Autopar Build Codes Core Dsmsim Enumerate Env Expr Inline Ir Linearize List Liveness Normalize Option Phase QCheck QCheck_alcotest Symbolic Types

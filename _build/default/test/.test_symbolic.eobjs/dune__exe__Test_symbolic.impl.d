@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Assume Env Expr List Probe QCheck QCheck_alcotest Qnum Range Stdlib Symbolic

@@ -1,0 +1,384 @@
+(* Tests for the symbolic expression substrate: Qnum, Expr normal form,
+   Probe and Range, exercised on the paper's own TFFT2 expressions. *)
+
+open Symbolic
+
+let expr = Alcotest.testable Expr.pp Expr.equal
+
+let qnum = Alcotest.testable Qnum.pp Qnum.equal
+
+(* Shorthand *)
+let v = Expr.var
+let i = Expr.int
+let ( + ) = Expr.add
+let ( - ) = Expr.sub
+let ( * ) = Expr.mul
+let ( / ) = Expr.div
+let p2 = Expr.pow2
+
+(* ------------------------------------------------------------------ *)
+(* Qnum *)
+
+let test_qnum_basic () =
+  Alcotest.(check qnum) "1/2 + 1/3" (Qnum.make 5 6) (Qnum.add (Qnum.make 1 2) (Qnum.make 1 3));
+  Alcotest.(check qnum) "normalization" (Qnum.make 1 2) (Qnum.make (-3) (-6));
+  Alcotest.(check int) "floor -7/2" (-4) (Qnum.floor (Qnum.make (-7) 2));
+  Alcotest.(check int) "ceil -7/2" (-3) (Qnum.ceil (Qnum.make (-7) 2));
+  Alcotest.(check int) "floor 7/2" 3 (Qnum.floor (Qnum.make 7 2));
+  Alcotest.(check qnum) "pow2 -3" (Qnum.make 1 8) (Qnum.pow2 (-3));
+  Alcotest.(check int) "compare" (-1) (Qnum.compare (Qnum.make 1 3) (Qnum.make 1 2))
+
+let test_qnum_overflow () =
+  Alcotest.check_raises "mul overflow" Qnum.Overflow (fun () ->
+      ignore (Qnum.mul (Qnum.of_int max_int) (Qnum.of_int 3)));
+  Alcotest.check_raises "div by zero" Qnum.Division_by_zero (fun () ->
+      ignore (Qnum.make 1 0))
+
+(* ------------------------------------------------------------------ *)
+(* Expr normal form *)
+
+let test_expr_ring () =
+  Alcotest.(check expr) "x+y = y+x" (v "x" + v "y") (v "y" + v "x");
+  Alcotest.(check expr) "(x+1)^2 expand"
+    ((v "x" * v "x") + (i 2 * v "x") + i 1)
+    ((v "x" + i 1) * (v "x" + i 1));
+  Alcotest.(check expr) "x - x = 0" Expr.zero (v "x" - v "x");
+  Alcotest.(check expr) "distribute"
+    ((v "a" * v "c") + (v "b" * v "c"))
+    ((v "a" + v "b") * v "c")
+
+let test_expr_pow2 () =
+  (* 2^(L-1) = (1/2) * 2^L *)
+  Alcotest.(check expr) "2^(L-1)"
+    (Expr.scale (Qnum.make 1 2) (p2 (v "L")))
+    (p2 (v "L" - i 1));
+  (* 2^L * 2^(-L) = 1 *)
+  Alcotest.(check expr) "2^L * 2^-L" Expr.one (p2 (v "L") * p2 (i 0 - v "L"));
+  (* 2^3 = 8 *)
+  Alcotest.(check expr) "2^3" (i 8) (p2 (i 3));
+  (* 2^(L-1) * 2^(1-L) = 1 *)
+  Alcotest.(check expr) "cross" Expr.one (p2 (v "L" - i 1) * p2 (i 1 - v "L"));
+  (* 2^(p-1)*J - J  vs (2^p - 2) * 2^-1 * J *)
+  Alcotest.(check expr) "tfft2 alpha numerator"
+    ((p2 (v "p" - i 1) * v "J") - v "J")
+    (Expr.scale (Qnum.make 1 2) ((p2 (v "p") - i 2) * v "J"))
+
+let test_expr_div () =
+  Alcotest.(check expr) "x*y / y" (v "x") (v "x" * v "y" / v "y");
+  Alcotest.(check expr) "monomial div with pow2"
+    (p2 (v "p" - v "L") - p2 (i 1 - v "L"))
+    (((p2 (v "p" - i 1) * v "J") - v "J") / (v "J" * p2 (v "L" - i 1)));
+  (* multi-term divisor falls back to an opaque atom, but a/a = 1 *)
+  Alcotest.(check expr) "self division" Expr.one ((v "x" + i 1) / (v "x" + i 1));
+  Alcotest.(check bool) "opaque kept" false
+    (Expr.is_zero ((v "x" + v "y") / (v "x" + i 1)))
+
+let test_expr_floor_ceil () =
+  Alcotest.(check expr) "floor 7/2" (i 3) (Expr.floor_div (i 7) (i 2));
+  Alcotest.(check expr) "ceil 7/2" (i 4) (Expr.ceil_div (i 7) (i 2));
+  Alcotest.(check expr) "exact poly quotient"
+    (v "x" + i 1)
+    (Expr.floor_div ((i 2 * v "x") + i 2) (i 2));
+  (* ceil(x/H) stays symbolic *)
+  let e = Expr.ceil_div (v "x") (v "H") in
+  Alcotest.(check int) "ceil eval"
+    3
+    (Expr.eval_int (Env.lookup (Env.of_list [ ("x", 9); ("H", 4) ])) e)
+
+let test_expr_subst () =
+  (* phi = 2*P*I + 2^(L-1)*J + K; stride wrt L is J*2^(L-1) *)
+  let phi = (i 2 * v "P" * v "I") + (p2 (v "L" - i 1) * v "J") + v "K" in
+  let stride = Expr.subst "L" (v "L" + i 1) phi - phi in
+  Alcotest.(check expr) "tfft2 stride_L" (v "J" * p2 (v "L" - i 1)) stride;
+  let stride_i = Expr.subst "I" (v "I" + i 1) phi - phi in
+  Alcotest.(check expr) "tfft2 stride_I" (i 2 * v "P") stride_i;
+  Alcotest.(check expr) "subst into pow2" (p2 (v "x" + i 2) ) (Expr.subst "L" (v "x" + i 2) (p2 (v "L")))
+
+let test_linear_in () =
+  let e = (i 2 * v "P" * v "I") + (p2 (v "L") * v "J") in
+  (match Expr.linear_in "I" e with
+  | Some (a, b) ->
+      Alcotest.(check expr) "coeff" (i 2 * v "P") a;
+      Alcotest.(check expr) "rest" (p2 (v "L") * v "J") b
+  | None -> Alcotest.fail "linear_in I");
+  (match Expr.linear_in "L" e with
+  | Some _ -> Alcotest.fail "L occurs inside pow2: nonlinear"
+  | None -> ());
+  match Expr.linear_in "x" (v "x" * v "x") with
+  | Some _ -> Alcotest.fail "quadratic"
+  | None -> ()
+
+let test_eval () =
+  let env = Env.of_list [ ("P", 8); ("I", 2); ("L", 3); ("J", 1); ("K", 2) ] in
+  let phi = (i 2 * v "P" * v "I") + (p2 (v "L" - i 1) * v "J") + v "K" in
+  Alcotest.(check int) "phi eval" 38 (Env.eval env phi);
+  Alcotest.check_raises "non-integral"
+    (Expr.Non_integral "value 1/2")
+    (fun () -> ignore (Env.eval env (Expr.scale (Qnum.make 1 2) Expr.one)))
+
+(* ------------------------------------------------------------------ *)
+(* Probe *)
+
+let tfft2_assume =
+  Assume.of_list
+    [
+      ("p", Assume.Int_range (2, 6));
+      ("q", Assume.Int_range (1, 5));
+      ("P", Assume.Pow2_of "p");
+      ("Q", Assume.Pow2_of "q");
+      ("I", Assume.Expr_range (Expr.zero, v "Q" - i 1));
+      ("L", Assume.Expr_range (i 1, v "p"));
+      ("J", Assume.Expr_range (Expr.zero, (v "P" * p2 (i 0 - v "L")) - i 1));
+      ("K", Assume.Expr_range (Expr.zero, p2 (v "L" - i 1) - i 1));
+    ]
+
+let test_probe_equal () =
+  Probe.with_seed 42 (fun () ->
+      (* (P-2)*2^-L + 1 equals 2^(p-L) - 2^(1-L) + 1 under P = 2^p *)
+      let a = ((v "P" - i 2) * p2 (i 0 - v "L")) + i 1 in
+      let b = p2 (v "p" - v "L") - p2 (i 1 - v "L") + i 1 in
+      Alcotest.(check bool) "paper alpha2 forms" true (Probe.equal tfft2_assume a b);
+      Alcotest.(check bool) "not equal" false
+        (Probe.equal tfft2_assume a (b + i 1)))
+
+let test_probe_sign_div () =
+  Probe.with_seed 43 (fun () ->
+      Alcotest.(check (option int)) "J*2^(L-1) nonneg" (Some 1)
+        (Probe.sign tfft2_assume ((v "J" * p2 (v "L" - i 1)) + i 1));
+      Alcotest.(check bool) "K bound lt P" true
+        (Probe.lt tfft2_assume (v "K") (v "P"));
+      (* P * 2^-L is integral over the domain (L <= p) *)
+      Alcotest.(check bool) "P*2^-L integral" true
+        (Probe.integral tfft2_assume (v "P" * p2 (i 0 - v "L")));
+      Alcotest.(check bool) "2^(L-1) divides P/2... i.e. P/2 multiple" true
+        (Probe.divides tfft2_assume (p2 (v "L" - i 1)) (v "P" * p2 (i 0 - v "L") * p2 (v "L" - i 1))))
+
+let test_probe_constant_in () =
+  Probe.with_seed 44 (fun () ->
+      Alcotest.(check bool) "P/2 - 1 constant in L" true
+        (Probe.constant_in tfft2_assume "L" ((v "P" / i 2) - i 1));
+      Alcotest.(check bool) "2^L not constant in L" false
+        (Probe.constant_in tfft2_assume "L" (p2 (v "L"))))
+
+(* ------------------------------------------------------------------ *)
+(* Range *)
+
+let test_range_tfft2_reach () =
+  Probe.with_seed 45 (fun () ->
+      (* max over L,J,K of 2^(L-1)*J + K must be P/2 - 1: the key fact
+         behind the paper's Fig. 3 coalescing chain. *)
+      let e = (p2 (v "L" - i 1) * v "J") + v "K" in
+      match Range.maximize tfft2_assume ~over:[ "L"; "J"; "K" ] e with
+      | None -> Alcotest.fail "maximize failed"
+      | Some m ->
+          Alcotest.(check bool) "reach = P/2 - 1" true
+            (Probe.equal tfft2_assume m ((v "P" / i 2) - i 1)))
+
+let test_range_monotone () =
+  Probe.with_seed 46 (fun () ->
+      (match Range.monotonicity tfft2_assume "J" ((p2 (v "L" - i 1) * v "J") + v "K") with
+      | `Inc -> ()
+      | _ -> Alcotest.fail "J monotone inc");
+      (match Range.monotonicity tfft2_assume "L" (p2 (i 0 - v "L")) with
+      | `Dec -> ()
+      | _ -> Alcotest.fail "2^-L dec");
+      match Range.minimize tfft2_assume ~over:[ "K" ] (v "K" + i 5) with
+      | Some m -> Alcotest.(check expr) "min K+5" (i 5) m
+      | None -> Alcotest.fail "minimize failed")
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties *)
+
+let arb_small_expr =
+  (* Random expressions over x,y with small ints, built from +,-,*. *)
+  let open QCheck.Gen in
+  let leaf =
+    oneof [ map Expr.int (int_range (-4) 4); oneofl [ v "x"; v "y" ] ]
+  in
+  let rec go n =
+    if n = 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          (2, map2 Expr.add (go (pred n)) (go (pred n)));
+          (2, map2 Expr.mul (go (pred n)) (go (pred n)));
+          (1, map2 Expr.sub (go (pred n)) (go (pred n)));
+        ]
+  in
+  QCheck.make (go 4) ~print:Expr.to_string
+
+let eval_xy ex ey e = Expr.eval (function
+    | "x" -> Qnum.of_int ex
+    | "y" -> Qnum.of_int ey
+    | v -> failwith v) e
+
+let prop_eval_homomorphic =
+  QCheck.Test.make ~name:"normal form preserves value" ~count:300
+    (QCheck.triple arb_small_expr (QCheck.int_range (-20) 20) (QCheck.int_range (-20) 20))
+    (fun (e, ex, ey) ->
+      (* Rebuilding the expression by substituting variables with
+         constants must agree with direct evaluation. *)
+      let direct = eval_xy ex ey e in
+      let substituted =
+        Expr.subst "x" (Expr.int ex) e |> Expr.subst "y" (Expr.int ey)
+      in
+      match Expr.to_q substituted with
+      | Some c -> Qnum.equal c direct
+      | None -> false)
+
+let prop_add_commutes =
+  QCheck.Test.make ~name:"add commutes structurally" ~count:200
+    (QCheck.pair arb_small_expr arb_small_expr)
+    (fun (a, b) -> Expr.equal (Expr.add a b) (Expr.add b a))
+
+let prop_mul_distributes =
+  QCheck.Test.make ~name:"mul distributes structurally" ~count:200
+    (QCheck.triple arb_small_expr arb_small_expr arb_small_expr)
+    (fun (a, b, c) ->
+      Expr.equal (Expr.mul a (Expr.add b c)) (Expr.add (Expr.mul a b) (Expr.mul a c)))
+
+let prop_qnum_field =
+  QCheck.Test.make ~name:"qnum field laws" ~count:500
+    (QCheck.triple (QCheck.int_range (-50) 50) (QCheck.int_range 1 50) (QCheck.int_range (-50) 50))
+    (fun (a, b, c) ->
+      let x = Qnum.make a b and y = Qnum.make c b in
+      Qnum.equal (Qnum.add x y) (Qnum.add y x)
+      && Qnum.equal (Qnum.sub (Qnum.add x y) y) x
+      && (Qnum.is_zero x || Qnum.equal (Qnum.div (Qnum.mul x y) x) y))
+
+let test_range_mixed () =
+  Probe.with_seed 48 (fun () ->
+      (* v*(v-5) is not monotone over 0..6: elimination must refuse
+         rather than return a wrong bound *)
+      let asm =
+        Assume.of_list [ ("v", Assume.Expr_range (i 0, i 6)) ]
+      in
+      let e = v "v" * (v "v" - i 5) in
+      (match Range.monotonicity asm "v" e with
+      | `Mixed -> ()
+      | _ -> Alcotest.fail "expected mixed monotonicity");
+      Alcotest.(check bool) "maximize refuses" true
+        (Range.maximize asm ~over:[ "v" ] e = None));
+  Probe.with_seed 49 (fun () ->
+      (* ... but a monotone expression over the same domain succeeds *)
+      let asm = Assume.of_list [ ("v", Assume.Expr_range (i 0, i 6)) ] in
+      match Range.maximize asm ~over:[ "v" ] (v "v" * v "v") with
+      | Some m -> Alcotest.(check expr) "36" (i 36) m
+      | None -> Alcotest.fail "monotone square should maximize")
+
+(* ------------------------------------------------------------------ *)
+(* Edge cases *)
+
+let test_expr_corner_cases () =
+  (* floor/ceil with symbolic divisor stay symbolic but evaluate *)
+  let e = Expr.floor_div (v "x" + i 3) (v "y") in
+  let env = Env.of_list [ ("x", 7); ("y", 4) ] in
+  Alcotest.(check int) "floor_div eval" 2 (Env.eval env e);
+  let c = Expr.ceil_div (v "x" + i 3) (v "y") in
+  Alcotest.(check int) "ceil_div eval" 3 (Env.eval env c);
+  (* subst reaches inside floor/ceil atoms *)
+  let e2 = Expr.subst "x" (i 9) e in
+  Alcotest.(check int) "subst into floor" 3
+    (Expr.eval_int (Env.lookup (Env.of_list [ ("y", 4) ])) e2);
+  (* opaque division cancels syntactically equal args *)
+  Alcotest.(check expr) "opaque self" Expr.one
+    ((v "a" + v "b") / (v "a" + v "b"));
+  (* negative power via division round trip *)
+  let r = v "x" * (Expr.one / v "x") in
+  Alcotest.(check expr) "x * 1/x" Expr.one r
+
+let test_linear_in_with_atoms () =
+  (* a ceil atom not involving v is a coefficient like any other *)
+  let e = (Expr.ceil_div (v "N") (v "H") * v "t") + i 5 in
+  match Expr.linear_in "t" e with
+  | Some (a, b) ->
+      Alcotest.(check expr) "coeff" (Expr.ceil_div (v "N") (v "H")) a;
+      Alcotest.(check expr) "const" (i 5) b
+  | None -> Alcotest.fail "linear in t"
+
+let test_assume_set_domain () =
+  let asm = tfft2_assume in
+  let pinned = Assume.set_domain asm "L" (Assume.Expr_range (i 2, i 2)) in
+  Probe.with_seed 47 (fun () ->
+      Alcotest.(check bool) "L pinned to 2" true
+        (Probe.equal pinned (p2 (v "L")) (i 4)));
+  (* unknown vars are appended *)
+  let extended = Assume.set_domain asm "Z" (Assume.Int_range (1, 1)) in
+  Alcotest.(check bool) "appended" true
+    (List.mem "Z" (Assume.vars extended))
+
+let prop_pow2_laws =
+  QCheck.Test.make ~name:"2^a * 2^b = 2^(a+b)" ~count:200
+    (QCheck.pair (QCheck.int_range (-6) 6) (QCheck.int_range (-6) 6))
+    (fun (a, b) ->
+      let ea = Expr.add (v "k") (i a) and eb = Expr.sub (i b) (v "k") in
+      Expr.equal
+        (Expr.mul (p2 ea) (p2 eb))
+        (p2 (Expr.add ea eb)))
+
+let prop_subst_compose =
+  QCheck.Test.make ~name:"subst composes" ~count:200
+    (QCheck.pair arb_small_expr (QCheck.int_range (-9) 9))
+    (fun (e, n) ->
+      (* substituting y:=n then x:=n equals substituting both at once *)
+      let one_by_one = Expr.subst "x" (i n) (Expr.subst "y" (i n) e) in
+      let both = Expr.subst_env [ ("x", i n); ("y", i n) ] e in
+      Expr.equal one_by_one both)
+
+let prop_qnum_floor_ceil =
+  QCheck.Test.make ~name:"floor <= q <= ceil, gap < 1" ~count:500
+    (QCheck.pair (QCheck.int_range (-200) 200) (QCheck.int_range 1 50))
+    (fun (a, b) ->
+      let q = Qnum.make a b in
+      let f = Qnum.floor q and c = Qnum.ceil q in
+      Qnum.compare (Qnum.of_int f) q <= 0
+      && Qnum.compare q (Qnum.of_int c) <= 0
+      && Stdlib.(c - f <= 1)
+      && Qnum.is_integer q = (f = c))
+
+let () =
+  Alcotest.run "symbolic"
+    [
+      ( "qnum",
+        [
+          Alcotest.test_case "basic" `Quick test_qnum_basic;
+          Alcotest.test_case "overflow" `Quick test_qnum_overflow;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "ring" `Quick test_expr_ring;
+          Alcotest.test_case "pow2" `Quick test_expr_pow2;
+          Alcotest.test_case "div" `Quick test_expr_div;
+          Alcotest.test_case "floor/ceil" `Quick test_expr_floor_ceil;
+          Alcotest.test_case "subst" `Quick test_expr_subst;
+          Alcotest.test_case "linear_in" `Quick test_linear_in;
+          Alcotest.test_case "eval" `Quick test_eval;
+        ] );
+      ( "probe",
+        [
+          Alcotest.test_case "equal" `Quick test_probe_equal;
+          Alcotest.test_case "sign/div" `Quick test_probe_sign_div;
+          Alcotest.test_case "constant_in" `Quick test_probe_constant_in;
+        ] );
+      ( "range",
+        [
+          Alcotest.test_case "tfft2 reach" `Quick test_range_tfft2_reach;
+          Alcotest.test_case "monotonicity" `Quick test_range_monotone;
+          Alcotest.test_case "mixed refused" `Quick test_range_mixed;
+        ] );
+      ( "corner-cases",
+        [
+          Alcotest.test_case "expr corners" `Quick test_expr_corner_cases;
+          Alcotest.test_case "linear_in with atoms" `Quick
+            test_linear_in_with_atoms;
+          Alcotest.test_case "assume set_domain" `Quick test_assume_set_domain;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_eval_homomorphic; prop_add_commutes; prop_mul_distributes;
+            prop_qnum_field; prop_pow2_laws; prop_subst_compose;
+            prop_qnum_floor_ceil;
+          ] );
+    ]
