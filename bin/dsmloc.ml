@@ -1,12 +1,19 @@
 (* dsmloc: command-line front end for the locality analysis pipeline.
 
      dsmloc list
-     dsmloc analyze  <code> [--size N] [--procs H]
+     dsmloc analyze  <code> [--size N] [--procs H] [--strict] [--max-errors N]
      dsmloc lcg      <code> [--size N] [--procs H]
      dsmloc solve    <code> [--size N] [--procs H]
      dsmloc simulate <code> [--size N] [--procs H] [--baseline]
+                            [--inject-faults SEED:RATE] [--retries N]
+     dsmloc validate <code> [--size N] [--procs H]
+                            [--inject-faults SEED:RATE] [--retries N]
      dsmloc sweep    <code> [--size N]
      dsmloc file     <path.dsm> [--procs H] [--env K=V,K=V]
+
+   Exit codes: 0 clean; 1 fatal (bad arguments, parse error, strict-mode
+   failure, too many errors); 2 the analysis degraded (error-severity
+   diagnostics recorded); 3 dataflow validation found stale reads.
 *)
 
 open Cmdliner
@@ -30,6 +37,41 @@ let baseline_arg =
   let doc = "Use the naive BLOCK / owner-computes baseline plan." in
   Arg.(value & flag & info [ "baseline" ] ~doc)
 
+let strict_arg =
+  let doc =
+    "Disable the degradation ladder: the first recoverable analysis \
+     failure aborts the run instead of falling back."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let max_errors_arg =
+  let doc =
+    "Abort (exit 1) once more than $(docv) error-severity diagnostics \
+     have been recorded."
+  in
+  Arg.(value & opt (some int) None & info [ "max-errors" ] ~docv:"N" ~doc)
+
+let faults_conv =
+  let parse s =
+    match Dsmsim.Fault.parse s with Ok v -> Ok v | Error e -> Error (`Msg e)
+  in
+  let print ppf s = Format.pp_print_string ppf (Dsmsim.Fault.to_string s) in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  let doc =
+    "Inject deterministic message faults into the communication schedule: \
+     $(docv) is SEED:RATE (drop rate) or SEED:DROP:DUP:TRUNC."
+  in
+  Arg.(
+    value
+    & opt (some faults_conv) None
+    & info [ "inject-faults" ] ~docv:"SPEC" ~doc)
+
+let retries_arg =
+  let doc = "Bounded resend budget per faulted message (default 0)." in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
 let with_entry name size f =
   match Codes.Registry.find name with
   | entry ->
@@ -40,8 +82,42 @@ let with_entry name size f =
         (String.concat ", " Codes.Registry.names);
       exit 1
 
-let run_pipeline entry env h =
-  Core.Pipeline.run entry.Codes.Registry.program ~env ~h
+let run_pipeline ?(strict = false) ?max_errors entry env h =
+  let diags = Core.Diag.collector ?max_errors () in
+  match
+    Core.Pipeline.run ~strict ~diags entry.Codes.Registry.program ~env ~h
+  with
+  | t -> t
+  | exception Core.Diag.Too_many_errors n ->
+      Printf.eprintf "aborted: more than %d error-severity diagnostics\n" n;
+      exit 1
+  | exception e when strict ->
+      Printf.eprintf "strict mode: %s\n" (Printexc.to_string e);
+      exit 1
+
+(* Print any accumulated diagnostics to stderr (stdout carries the
+   command's payload) and translate the run's outcome into the exit
+   code contract above. *)
+let finish ?(failed = false) t =
+  (match Core.Pipeline.diagnostics t with
+  | [] -> ()
+  | ds -> Format.eprintf "%a@?" Core.Diag.pp_table ds);
+  if failed then exit 3;
+  if Core.Pipeline.degraded t then exit 2
+
+(* Simulation and schedule generation replay the program itself; a
+   program whose sizes or bounds do not evaluate cannot be replayed,
+   and there is no further rung to degrade to - surface as fatal with
+   whatever diagnostics were collected. *)
+let fatal_guard t f =
+  try f ()
+  with e when Core.Pipeline.recoverable e ->
+    (match Core.Pipeline.diagnostics t with
+    | [] -> ()
+    | ds -> Format.eprintf "%a@?" Core.Diag.pp_table ds);
+    Printf.eprintf "fatal: cannot replay the program (%s)\n"
+      (Core.Pipeline.describe e);
+    exit 1
 
 let list_cmd =
   let f () =
@@ -60,14 +136,15 @@ let list_cmd =
     Term.(const f $ const ())
 
 let analyze_cmd =
-  let f name size h =
+  let f name size h strict max_errors =
     with_entry name size (fun entry env ->
-        let t = run_pipeline entry env h in
-        Format.printf "%a@." Core.Pipeline.report t)
+        let t = run_pipeline ~strict ?max_errors entry env h in
+        Format.printf "%a@." Core.Pipeline.report t;
+        if Core.Pipeline.degraded t then exit 2)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Full pipeline report: LCG, model, solution, plan.")
-    Term.(const f $ code_arg $ size_arg $ procs_arg)
+    Term.(const f $ code_arg $ size_arg $ procs_arg $ strict_arg $ max_errors_arg)
 
 let lcg_cmd =
   let f name size h =
@@ -79,32 +156,37 @@ let lcg_cmd =
     Term.(const f $ code_arg $ size_arg $ procs_arg)
 
 let solve_cmd =
-  let f name size h =
+  let f name size h strict max_errors =
     with_entry name size (fun entry env ->
-        let t = run_pipeline entry env h in
+        let t = run_pipeline ~strict ?max_errors entry env h in
         Format.printf "%a@.@." Ilp.Model.pp t.model;
         Format.printf "objective %.1f (D %.1f + C %.1f)@." t.solution.objective
           t.solution.d_cost t.solution.c_cost;
-        Format.printf "%a@." Ilp.Distribution.pp t.plan)
+        Format.printf "%a@." Ilp.Distribution.pp t.plan;
+        finish t)
   in
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Print the Table-2 constraint model and the solved distribution.")
-    Term.(const f $ code_arg $ size_arg $ procs_arg)
+    Term.(const f $ code_arg $ size_arg $ procs_arg $ strict_arg $ max_errors_arg)
 
 let simulate_cmd =
-  let f name size h baseline =
+  let f name size h baseline strict max_errors faults retries =
     with_entry name size (fun entry env ->
-        let t = run_pipeline entry env h in
+        let t = run_pipeline ~strict ?max_errors entry env h in
         let r =
-          if baseline then Core.Pipeline.simulate_baseline t
-          else Core.Pipeline.simulate t
+          fatal_guard t (fun () ->
+              if baseline then Core.Pipeline.simulate_baseline t
+              else Core.Pipeline.simulate ?faults ~retries t)
         in
-        Format.printf "%a@." Dsmsim.Exec.pp r)
+        Format.printf "%a@." Dsmsim.Exec.pp r;
+        finish t)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Replay the code on the DSM machine model.")
-    Term.(const f $ code_arg $ size_arg $ procs_arg $ baseline_arg)
+    Term.(
+      const f $ code_arg $ size_arg $ procs_arg $ baseline_arg $ strict_arg
+      $ max_errors_arg $ faults_arg $ retries_arg)
 
 let sweep_cmd =
   let f name size =
@@ -113,7 +195,7 @@ let sweep_cmd =
         List.iter
           (fun h ->
             let t = run_pipeline entry env h in
-            let eff, base = Core.Pipeline.efficiency t in
+            let eff, base = fatal_guard t (fun () -> Core.Pipeline.efficiency t) in
             Printf.printf "%4d %11.1f%% %11.1f%%\n%!" h (100. *. eff)
               (100. *. base))
           [ 1; 2; 4; 8; 16; 32; 64 ])
@@ -141,34 +223,59 @@ let stability_cmd =
     Term.(const f $ code_arg)
 
 let validate_cmd =
-  let f name size h =
+  let f name size h strict max_errors faults retries =
     with_entry name size (fun entry env ->
-        let t = run_pipeline entry env h in
+        let t = run_pipeline ~strict ?max_errors entry env h in
+        fatal_guard t @@ fun () ->
         let rounds = if entry.program.repeats then 2 else 1 in
-        let r = Dsmsim.Validate.run ~rounds t.lcg t.plan in
+        let sched =
+          match faults with
+          | None -> None
+          | Some spec ->
+              let base =
+                Dsmsim.Comm.generate
+                  ~on_error:(Core.Pipeline.record_comm_error t)
+                  t.lcg t.plan
+              in
+              let delivered, st = Dsmsim.Fault.apply spec ~retries base in
+              Core.Pipeline.record_fault_stats t st;
+              Some delivered
+        in
+        let r =
+          Dsmsim.Validate.run ~rounds
+            ~on_error:(Core.Pipeline.record_comm_error t)
+            ?sched t.lcg t.plan
+        in
         Format.printf "%a@." Dsmsim.Validate.pp r;
-        if not (Dsmsim.Validate.ok r) then exit 1)
+        finish ~failed:(not (Dsmsim.Validate.ok r)) t)
   in
   Cmd.v
     (Cmd.info "validate"
-       ~doc:"Replay with versioned memory: certify every read is fresh.")
-    Term.(const f $ code_arg $ size_arg $ procs_arg)
+       ~doc:
+         "Replay with versioned memory: certify every read is fresh \
+          (optionally under injected message faults).")
+    Term.(
+      const f $ code_arg $ size_arg $ procs_arg $ strict_arg $ max_errors_arg
+      $ faults_arg $ retries_arg)
 
 let report_cmd =
-  let f name size h =
+  let f name size h strict max_errors =
     with_entry name size (fun entry env ->
-        let t = run_pipeline entry env h in
-        print_string (Core.Report.markdown t))
+        let t = run_pipeline ~strict ?max_errors entry env h in
+        print_string (fatal_guard t (fun () -> Core.Report.markdown t));
+        if Core.Pipeline.degraded t then exit 2)
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Full markdown analysis report.")
-    Term.(const f $ code_arg $ size_arg $ procs_arg)
+    Term.(const f $ code_arg $ size_arg $ procs_arg $ strict_arg $ max_errors_arg)
 
 let spmd_cmd =
   let f name size h =
     with_entry name size (fun entry env ->
         let t = run_pipeline entry env h in
-        print_string (Codegen.Spmd.generate t.lcg t.plan t.machine))
+        print_string
+          (fatal_guard t (fun () -> Codegen.Spmd.generate t.lcg t.plan t.machine));
+        finish t)
   in
   Cmd.v
     (Cmd.info "spmd" ~doc:"Emit the SPMD pseudo-code the plan implies.")
@@ -188,14 +295,20 @@ let comm_cmd =
   let f name size h =
     with_entry name size (fun entry env ->
         let t = run_pipeline entry env h in
-        let sched = Dsmsim.Comm.generate t.lcg t.plan in
+        let sched =
+          fatal_guard t (fun () ->
+              Dsmsim.Comm.generate
+                ~on_error:(Core.Pipeline.record_comm_error t)
+                t.lcg t.plan)
+        in
         Format.printf "%a@." Dsmsim.Comm.pp sched;
         Format.printf
           "total: %d messages, %d words (%d redistribution events, %d frontier events)@."
           (Dsmsim.Comm.message_count sched)
           (Dsmsim.Comm.total_words sched)
           (List.length (Dsmsim.Comm.redistributions sched))
-          (List.length (Dsmsim.Comm.frontiers sched)))
+          (List.length (Dsmsim.Comm.frontiers sched));
+        finish t)
   in
   Cmd.v
     (Cmd.info "comm"
@@ -217,7 +330,7 @@ let file_cmd =
     in
     Arg.(value & flag & info [ "autopar" ] ~doc)
   in
-  let f path h bindings autopar =
+  let f path h bindings autopar strict max_errors =
     match Frontend.Parse.program_file path with
     | exception Frontend.Parse.Error { line; message } ->
         Printf.eprintf "%s:%d: %s\n" path line message;
@@ -236,8 +349,15 @@ let file_cmd =
                 match d with
                 | Symbolic.Assume.Int_range (lo, hi) ->
                     Symbolic.Env.add v ((lo + hi) / 2) env
-                | Symbolic.Assume.Pow2_of w ->
-                    Symbolic.Env.add v (1 lsl Symbolic.Env.find env w) env
+                | Symbolic.Assume.Pow2_of w -> (
+                    match Symbolic.Env.find env w with
+                    | e -> Symbolic.Env.add v (1 lsl e) env
+                    | exception Symbolic.Env.Unbound _ ->
+                        Printf.eprintf
+                          "parameter %s = 2^%s: %s is not bound (declare it \
+                           first or pass --env)\n"
+                          v w w;
+                        exit 1)
                 | Symbolic.Assume.Expr_range _ -> env)
               Symbolic.Env.empty
               (Symbolic.Assume.to_list prog.params)
@@ -252,16 +372,30 @@ let file_cmd =
                        exit 1)
                  Symbolic.Env.empty
         in
-        let t = Core.Pipeline.run prog ~env ~h in
+        let diags = Core.Diag.collector ?max_errors () in
+        let t =
+          match Core.Pipeline.run ~strict ~diags prog ~env ~h with
+          | t -> t
+          | exception Core.Diag.Too_many_errors n ->
+              Printf.eprintf
+                "aborted: more than %d error-severity diagnostics\n" n;
+              exit 1
+          | exception e when strict ->
+              Printf.eprintf "strict mode: %s\n" (Printexc.to_string e);
+              exit 1
+        in
         Format.printf "%a@.@." Core.Pipeline.report t;
-        let eff, base = Core.Pipeline.efficiency t in
+        let eff, base = fatal_guard t (fun () -> Core.Pipeline.efficiency t) in
         Format.printf "Simulated efficiency: %.1f%% (LCG) vs %.1f%% (BLOCK)@."
-          (100. *. eff) (100. *. base)
+          (100. *. eff) (100. *. base);
+        if Core.Pipeline.degraded t then exit 2
   in
   Cmd.v
     (Cmd.info "file"
        ~doc:"Parse a surface-language program and run the full pipeline on it.")
-    Term.(const f $ path_arg $ procs_arg $ env_arg $ autopar_arg)
+    Term.(
+      const f $ path_arg $ procs_arg $ env_arg $ autopar_arg $ strict_arg
+      $ max_errors_arg)
 
 let () =
   let info =

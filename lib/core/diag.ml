@@ -1,0 +1,97 @@
+type severity = Info | Warning | Error
+
+type stage =
+  | Frontend
+  | Descriptors
+  | Lcg
+  | Model
+  | Solve
+  | Plan
+  | Comm
+  | Exec
+  | Validation
+
+type t = {
+  severity : severity;
+  stage : stage;
+  code : string;
+  message : string;
+}
+
+exception Too_many_errors of int
+
+type collector = {
+  mutable items : t list;  (** reverse order *)
+  mutable n_errors : int;
+  max_errors : int option;
+}
+
+let collector ?max_errors () = { items = []; n_errors = 0; max_errors }
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let stage_to_string = function
+  | Frontend -> "frontend"
+  | Descriptors -> "descriptors"
+  | Lcg -> "lcg"
+  | Model -> "model"
+  | Solve -> "solve"
+  | Plan -> "plan"
+  | Comm -> "comm"
+  | Exec -> "exec"
+  | Validation -> "validation"
+
+let add c ~severity ~stage ~code message =
+  (* the diagnostic that would exceed the cap is not recorded *)
+  (if severity = Error then
+     match c.max_errors with
+     | Some cap when c.n_errors >= cap -> raise (Too_many_errors cap)
+     | _ -> ());
+  c.items <- { severity; stage; code; message } :: c.items;
+  if severity = Error then c.n_errors <- c.n_errors + 1
+
+let addf c ~severity ~stage ~code fmt =
+  Printf.ksprintf (add c ~severity ~stage ~code) fmt
+
+let to_list c = List.rev c.items
+let count c = List.length c.items
+let errors c = c.n_errors
+let has_errors c = c.n_errors > 0
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+let max_severity c =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | Some s when severity_rank s >= severity_rank d.severity -> acc
+      | _ -> Some d.severity)
+    None c.items
+
+let pp ppf d =
+  Format.fprintf ppf "[%s] %s %s: %s"
+    (severity_to_string d.severity)
+    (stage_to_string d.stage) d.code d.message
+
+let pp_table ppf = function
+  | [] -> ()
+  | ds ->
+      let w_sev, w_stage, w_code =
+        List.fold_left
+          (fun (a, b, c) d ->
+            ( max a (String.length (severity_to_string d.severity)),
+              max b (String.length (stage_to_string d.stage)),
+              max c (String.length d.code) ))
+          (0, 0, 0) ds
+      in
+      Format.fprintf ppf "@[<v>";
+      List.iter
+        (fun d ->
+          Format.fprintf ppf "%-*s  %-*s  %-*s  %s@," w_sev
+            (severity_to_string d.severity)
+            w_stage (stage_to_string d.stage) w_code d.code d.message)
+        ds;
+      Format.fprintf ppf "@]"

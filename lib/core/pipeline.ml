@@ -8,25 +8,133 @@ type t = {
   model : Ilp.Model.t;
   solution : Ilp.Solve.result;
   plan : Ilp.Distribution.plan;
+  diags : Diag.collector;
 }
 
-let run ?machine prog ~env ~h =
+(* The degradation ladder only catches failures with a documented
+   conservative fallback; anything else (bugs, Stack_overflow, ...)
+   still propagates. *)
+let recoverable = function
+  | Descriptor.Ard.Unsupported | Descriptor.Region.Not_rectangular _
+  | Qnum.Overflow | Qnum.Division_by_zero | Division_by_zero | Env.Unbound _
+  | Expr.Non_integral _ ->
+      true
+  | _ -> false
+
+let describe = function
+  | Descriptor.Ard.Unsupported -> "unsupported (non-affine) subscript"
+  | Descriptor.Region.Not_rectangular s -> "non-rectangular region: " ^ s
+  | Qnum.Overflow -> "symbolic arithmetic overflow"
+  | Qnum.Division_by_zero | Division_by_zero -> "division by zero"
+  | Env.Unbound v -> "unbound parameter " ^ v
+  | Expr.Non_integral s -> "non-integral expression: " ^ s
+  | e -> Printexc.to_string e
+
+let guard ~strict ~diags ~stage ~code ~fallback f =
+  try f ()
+  with e when (not strict) && recoverable e ->
+    Diag.addf diags ~severity:Diag.Error ~stage ~code
+      "stage failed (%s); using conservative fallback" (describe e);
+    fallback ()
+
+let run ?machine ?(strict = false) ?diags prog ~env ~h =
+  let diags = match diags with Some d -> d | None -> Diag.collector () in
   let machine =
     match machine with Some m -> m | None -> Ilp.Cost.default_machine ~h
   in
-  let lcg = Locality.Lcg.build prog ~env ~h in
-  let model = Ilp.Model.of_lcg lcg in
-  let solution = Ilp.Solve.solve model machine in
-  let plan = Ilp.Distribution.of_solution lcg ~p:solution.p in
-  { prog; env; machine; lcg; model; solution; plan }
+  let lcg =
+    guard ~strict ~diags ~stage:Diag.Lcg ~code:"LCG-FAIL"
+      ~fallback:(fun () -> { Locality.Lcg.prog; env; h; graphs = [] })
+      (fun () -> Locality.Lcg.build prog ~env ~h)
+  in
+  (* Whole-array degradation happens inside descriptor construction
+     (Ard.of_site catches Unsupported); surface it as a warning per
+     degraded node so callers can see which phases lost precision. *)
+  List.iter
+    (fun (g : Locality.Lcg.graph) ->
+      List.iter
+        (fun (n : Locality.Lcg.node) ->
+          if not n.pd.Descriptor.Pd.exact then
+            Diag.addf diags ~severity:Diag.Warning ~stage:Diag.Descriptors
+              ~code:"DESC-WHOLE-ARRAY"
+              "%s in phase %d: conservative whole-array descriptor (edges \
+               forced to C)"
+              g.Locality.Lcg.array n.phase_idx)
+        g.Locality.Lcg.nodes)
+    lcg.graphs;
+  let model =
+    guard ~strict ~diags ~stage:Diag.Model ~code:"MODEL-FAIL"
+      ~fallback:(fun () ->
+        { Ilp.Model.lcg;
+          n_phases = List.length prog.Ir.Types.phases;
+          locality = [];
+          bounds = [];
+          storage = [];
+        })
+      (fun () -> Ilp.Model.of_lcg lcg)
+  in
+  let solve_failed = ref false in
+  let solution =
+    guard ~strict ~diags ~stage:Diag.Solve ~code:"SOLVE-FAIL"
+      ~fallback:(fun () ->
+        solve_failed := true;
+        let block = Ilp.Distribution.block_plan lcg in
+        { Ilp.Solve.p = block.chunk;
+          d_cost = 0.0;
+          c_cost = 0.0;
+          objective = 0.0;
+          broken = [];
+        })
+      (fun () -> Ilp.Solve.solve model machine)
+  in
+  if solution.broken <> [] then
+    Diag.addf diags ~severity:Diag.Warning ~stage:Diag.Solve
+      ~code:"SOLVE-BROKEN" "%d locality row(s) violated (priced as extra C)"
+      (List.length solution.broken);
+  let plan =
+    if !solve_failed then Ilp.Distribution.block_plan lcg
+    else
+      guard ~strict ~diags ~stage:Diag.Plan ~code:"PLAN-FAIL"
+        ~fallback:(fun () -> Ilp.Distribution.block_plan lcg)
+        (fun () -> Ilp.Distribution.of_solution lcg ~p:solution.p)
+  in
+  { prog; env; machine; lcg; model; solution; plan; diags }
 
-let simulate t = Dsmsim.Exec.run t.lcg t.plan t.machine
+let diagnostics t = Diag.to_list t.diags
+let degraded t = Diag.has_errors t.diags
 
-let simulate_baseline t =
-  Dsmsim.Exec.run t.lcg (Ilp.Distribution.block_plan t.lcg) t.machine
+let record_comm_error t msg =
+  Diag.add t.diags ~severity:Diag.Error ~stage:Diag.Comm ~code:"COMM-SIZE" msg
 
-let efficiency t =
-  ((simulate t).efficiency, (simulate_baseline t).efficiency)
+let record_fault_stats t (st : Dsmsim.Fault.stats) =
+  Diag.addf t.diags ~severity:Diag.Info ~stage:Diag.Exec ~code:"FAULT-INJECTED"
+    "%d message(s): %d dropped, %d duplicated, %d truncated, %d recovered"
+    st.messages st.dropped st.duplicated st.truncated st.recovered;
+  let lost = Dsmsim.Fault.unrecovered st in
+  if lost > 0 then
+    Diag.addf t.diags ~severity:Diag.Warning ~stage:Diag.Exec
+      ~code:"FAULT-UNRECOVERED"
+      "%d corrupted message(s) survived the retry budget" lost
+
+let record_faults t (r : Dsmsim.Exec.run) =
+  match r.fault_stats with
+  | None -> ()
+  | Some st -> record_fault_stats t st
+
+let simulate ?rounds ?faults ?retries t =
+  let r =
+    Dsmsim.Exec.run ?rounds ~on_error:(record_comm_error t) ?faults ?retries t.lcg
+      t.plan t.machine
+  in
+  record_faults t r;
+  r
+
+let simulate_baseline ?rounds t =
+  Dsmsim.Exec.run ?rounds ~on_error:(record_comm_error t) t.lcg
+    (Ilp.Distribution.block_plan t.lcg)
+    t.machine
+
+let efficiency t = ((simulate t).efficiency, (simulate_baseline t).efficiency)
 
 let report ppf t =
   Format.fprintf ppf "@[<v>%a@,=== Constraint model (Table 2 form) ===@,%a@,"
@@ -36,4 +144,9 @@ let report ppf t =
     (match t.solution.broken with
     | [] -> ""
     | b -> Printf.sprintf "  (%d violated locality rows)" (List.length b));
-  Format.fprintf ppf "%a@]" Ilp.Distribution.pp t.plan
+  Format.fprintf ppf "%a" Ilp.Distribution.pp t.plan;
+  (match diagnostics t with
+  | [] -> ()
+  | ds ->
+      Format.fprintf ppf "@,=== Diagnostics ===@,%a" Diag.pp_table ds);
+  Format.fprintf ppf "@]"

@@ -8,9 +8,33 @@
     (Eq. 7) and distribution planning.  [simulate] replays the program
     on the DSM machine model under the derived plan;
     [simulate_baseline] does the same under the naive BLOCK /
-    owner-computes plan for comparison. *)
+    owner-computes plan for comparison.
+
+    {b Totality.}  [run] is total over well-parsed programs: each stage
+    executes under a recovery wrapper that catches the analysis-layer
+    exceptions with a documented conservative fallback
+    ({!Diag.recoverable} failures - unsupported subscripts,
+    non-rectangular regions, symbolic overflow, unbound parameters) and
+    records a {!Diag.t} instead of crashing.  The degradation ladder
+    (DESIGN.md, "Error handling & degradation ladder"):
+
+    - descriptor failures degrade a reference to the whole-array
+      descriptor and force its phase's edges to C (never falsely L);
+    - LCG / model failures degrade to an empty graph / empty constraint
+      set, which downstream yields the BLOCK baseline plan;
+    - solver failures or plan-construction failures fall back to the
+      BLOCK baseline plan directly.
+
+    Passing [~strict:true] disables recovery: the first failure
+    re-raises, for callers that prefer crashing to degrading. *)
 
 open Symbolic
+
+val recoverable : exn -> bool
+(** The typed exceptions the degradation ladder knows a fallback for. *)
+
+val describe : exn -> string
+(** Human-readable one-liner for a {!recoverable} exception. *)
 
 type t = {
   prog : Ir.Types.program;
@@ -20,15 +44,51 @@ type t = {
   model : Ilp.Model.t;
   solution : Ilp.Solve.result;
   plan : Ilp.Distribution.plan;
+  diags : Diag.collector;  (** everything recorded during [run] *)
 }
 
-val run : ?machine:Ilp.Cost.machine -> Ir.Types.program -> env:Env.t -> h:int -> t
+val run :
+  ?machine:Ilp.Cost.machine ->
+  ?strict:bool ->
+  ?diags:Diag.collector ->
+  Ir.Types.program ->
+  env:Env.t ->
+  h:int ->
+  t
+(** [strict] (default false) re-raises instead of degrading.  [diags]
+    supplies an external collector (e.g. one with a [max_errors] cap);
+    a fresh unbounded one is created otherwise. *)
 
-val simulate : t -> Dsmsim.Exec.run
-val simulate_baseline : t -> Dsmsim.Exec.run
+val diagnostics : t -> Diag.t list
+(** Diagnostics recorded so far, in order - grows as [simulate] /
+    [simulate_baseline] record communication and fault diagnostics. *)
+
+val degraded : t -> bool
+(** True when any [Error]-severity diagnostic was recorded, i.e. at
+    least one stage ran on its fallback. *)
+
+val record_comm_error : t -> string -> unit
+(** Record a [COMM-SIZE] error - the [on_error] callback to hand to
+    {!Dsmsim.Comm.generate} when driving the simulator manually. *)
+
+val record_fault_stats : t -> Dsmsim.Fault.stats -> unit
+(** Record [FAULT-INJECTED] (and [FAULT-UNRECOVERED] when corruption
+    survived the retry budget) for a manually-applied {!Dsmsim.Fault}
+    perturbation. *)
+
+val simulate :
+  ?rounds:int -> ?faults:Dsmsim.Fault.spec -> ?retries:int -> t -> Dsmsim.Exec.run
+(** Replays under the derived plan.  [faults]/[retries] inject
+    deterministic message corruption with a bounded resend budget
+    ({!Dsmsim.Fault}); fault summaries and unrecovered corruption are
+    recorded into [t.diags] ([FAULT-INJECTED] / [FAULT-UNRECOVERED]),
+    as are communication-schedule size failures ([COMM-SIZE]). *)
+
+val simulate_baseline : ?rounds:int -> t -> Dsmsim.Exec.run
 
 val efficiency : t -> float * float
 (** (LCG-plan efficiency, BLOCK-baseline efficiency). *)
 
 val report : Format.formatter -> t -> unit
-(** LCG, Table-2 model, solution, and plan, in order. *)
+(** LCG, Table-2 model, solution, plan, and (when non-empty) the
+    diagnostics table, in order. *)

@@ -29,7 +29,9 @@ let markdown (t : Pipeline.t) =
           (fun c -> Format.asprintf "%a" Chain.pp c)
           (Chain.summaries t.lcg)));
 
-  let sched = Dsmsim.Comm.generate t.lcg t.plan in
+  let sched =
+    Dsmsim.Comm.generate ~on_error:(Pipeline.record_comm_error t) t.lcg t.plan
+  in
   add "## Communication schedule\n\n";
   add
     "- %d redistribution events, %d frontier events\n- %d aggregated \
@@ -56,6 +58,19 @@ let markdown (t : Pipeline.t) =
     "%s - %d reads replayed against versioned memory, %d stale.\n"
     (if Dsmsim.Validate.ok v then "**PASS**" else "**FAIL**")
     v.reads v.stale;
+
+  (match Pipeline.diagnostics t with
+  | [] -> ()
+  | ds ->
+      add "\n## Diagnostics\n\n";
+      add "| severity | stage | code | message |\n|---|---|---|---|\n";
+      List.iter
+        (fun (d : Diag.t) ->
+          add "| %s | %s | `%s` | %s |\n"
+            (Diag.severity_to_string d.severity)
+            (Diag.stage_to_string d.stage)
+            d.code d.message)
+        ds);
   Buffer.contents buf
 
 let print ppf t = Format.pp_print_string ppf (markdown t)

@@ -37,6 +37,11 @@ type t = {
   par_var : string option;  (** parallel loop var of the owning phase *)
 }
 
+exception Unsupported
+(** Raised internally while a dimension is analyzed; {!of_site} catches
+    it and degrades to {!whole_array}.  Exported so callers can treat
+    an escape (a bug) as a recoverable analysis failure. *)
+
 val of_site : Phase.t -> Phase.site -> t
 (** Builds the descriptor of one reference site; normalizes every
     {e sequential} dimension to a positive direction (folding the span

@@ -4,7 +4,7 @@ exception Not_rectangular of string
 
 let eval_const env e =
   try Env.eval env e
-  with Expr.Non_integral _ | Not_found ->
+  with Expr.Non_integral _ | Env.Unbound _ ->
     raise (Not_rectangular (Expr.to_string e))
 
 let row_addresses env (g : Pd.group) (r : Pd.row) ~par acc =

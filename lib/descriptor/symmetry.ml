@@ -136,7 +136,7 @@ let analyze (id : Id.t) : t =
            if hits w0 a1 || hits w1 a0 then write_shared := true
          end
        done
-     with Expr.Non_integral _ | Not_found -> failed := true);
+     with Expr.Non_integral _ | Env.Unbound _ -> failed := true);
     if !failed then None else Some !sizes
   in
   let dense (r : Id.row) =
@@ -210,7 +210,7 @@ let analyze (id : Id.t) : t =
                 when List.for_all
                        (fun (s, env) ->
                          try Env.eval env e = s
-                         with Expr.Non_integral _ | Not_found -> false)
+                         with Expr.Non_integral _ | Env.Unbound _ -> false)
                        sizes ->
                   Overlap e
               | _ -> Overlap_unknown))

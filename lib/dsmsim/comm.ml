@@ -19,11 +19,42 @@ type event =
 
 type schedule = event list
 
-let array_size (lcg : Lcg.t) array =
+(* Narrowed to the symbolic-evaluation failures only (an undeclared
+   array is an internal invariant violation and must keep crashing): a
+   size that does not evaluate means this array's messages cannot be
+   generated, which [on_error] surfaces instead of silently emitting an
+   empty communication schedule. *)
+let array_size ?on_error (lcg : Lcg.t) array =
   try
     Env.eval lcg.env
       (Ir.Linearize.size ~dims:(Ir.Types.array_decl lcg.prog array).dims)
-  with _ -> 0
+  with
+  | Env.Unbound v ->
+      (match on_error with
+      | Some f ->
+          f
+            (Printf.sprintf
+               "array %s: size has unbound parameter %s; omitting its messages"
+               array v)
+      | None -> ());
+      0
+  | Expr.Non_integral e ->
+      (match on_error with
+      | Some f ->
+          f
+            (Printf.sprintf
+               "array %s: size is non-integral (%s); omitting its messages"
+               array e)
+      | None -> ());
+      0
+  | Qnum.Overflow ->
+      (match on_error with
+      | Some f ->
+          f
+            (Printf.sprintf
+               "array %s: size overflowed; omitting its messages" array)
+      | None -> ());
+      0
 
 (* Group (src, dst, addr) triples into aggregated messages with maximal
    contiguous ranges. *)
@@ -113,7 +144,8 @@ let strip_triples (plan : Distribution.plan) (l : Distribution.layout) size =
     !triples
   end
 
-let generate (lcg : Lcg.t) (plan : Distribution.plan) : schedule =
+let generate ?on_error (lcg : Lcg.t) (plan : Distribution.plan) : schedule =
+  let array_size lcg a = array_size ?on_error lcg a in
   let events = ref [] in
   let n_phases = List.length lcg.prog.phases in
   List.iteri

@@ -44,10 +44,17 @@ val write_covers_epoch : Lcg.t -> Ilp.Distribution.layout -> bool
     phase write-covers everything the epoch touches, so entering the
     epoch needs no redistribution. *)
 
-val generate : Lcg.t -> Ilp.Distribution.plan -> schedule
+val array_size : ?on_error:(string -> unit) -> Lcg.t -> string -> int
+(** Concrete linearized size of an array under the LCG's environment.
+    Returns 0 (and reports through [on_error]) only for symbolic
+    evaluation failures - an unbound parameter, a non-integral size, or
+    arithmetic overflow; an undeclared array still raises. *)
+
+val generate : ?on_error:(string -> unit) -> Lcg.t -> Ilp.Distribution.plan -> schedule
 (** Events in program order; for a repeating program, events with
     [before_phase = 0] are the wrap-around boundary and apply from the
-    second traversal on. *)
+    second traversal on.  [on_error] receives a message for every array
+    whose size failed to evaluate (its events are omitted). *)
 
 val total_words : schedule -> int
 val message_count : schedule -> int

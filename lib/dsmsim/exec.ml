@@ -1,4 +1,3 @@
-open Symbolic
 open Locality
 open Ilp
 
@@ -35,15 +34,14 @@ type run = {
   total_local : int;
   total_remote : int;
   per_proc : proc_stats array;
+  retry_time : float;
+  fault_stats : Fault.stats option;
 }
 
 let proc_of_iteration ~chunk ~h i = i / max 1 chunk mod h
 
-let array_size (lcg : Lcg.t) array =
-  try
-    Env.eval lcg.env
-      (Ir.Linearize.size ~dims:(Ir.Types.array_decl lcg.prog array).dims)
-  with _ -> 0
+let array_size ?on_error (lcg : Lcg.t) array =
+  Comm.array_size ?on_error lcg array
 
 let seq_env_run (lcg : Lcg.t) (m : Cost.machine) =
   let total = ref 0.0 in
@@ -54,14 +52,28 @@ let seq_env_run (lcg : Lcg.t) (m : Cost.machine) =
     lcg.prog.phases;
   !total
 
-let run ?(rounds = 1) (lcg : Lcg.t) (plan : Distribution.plan) (m : Cost.machine) : run =
+(* Exponential-backoff accounting for one retried message: attempt [a]
+   (1-based) pays [t_startup * 2^(a-1)] wait plus a full resend of the
+   words. *)
+let retry_cost (m : Cost.machine) (r : Fault.retry) =
+  let rec go a acc =
+    if a > r.attempts then acc
+    else
+      go (a + 1)
+        (acc
+        +. float_of_int ((m.t_startup * (1 lsl (a - 1))) + (r.words * m.t_word)))
+  in
+  go 1 0.0
+
+let run ?(rounds = 1) ?on_error ?faults ?(retries = 0) (lcg : Lcg.t)
+    (plan : Distribution.plan) (m : Cost.machine) : run =
   let h = plan.h in
   let sizes = Hashtbl.create 8 in
   let size_of array =
     match Hashtbl.find_opt sizes array with
     | Some s -> s
     | None ->
-        let s = array_size lcg array in
+        let s = array_size ?on_error lcg array in
         Hashtbl.add sizes array s;
         s
   in
@@ -69,7 +81,24 @@ let run ?(rounds = 1) (lcg : Lcg.t) (plan : Distribution.plan) (m : Cost.machine
   let total_local = ref 0 and total_remote = ref 0 in
   let par_time = ref 0.0 and seq_time = ref 0.0 in
   let proc_compute = Array.make h 0.0 and proc_access = Array.make h 0.0 in
-  let sched = Comm.generate lcg plan in
+  let sched = Comm.generate ?on_error lcg plan in
+  (* Fault injection perturbs the delivered schedule; retry attempts
+     are charged per round below (every round faces the same loss). *)
+  let sched, fault_stats =
+    match faults with
+    | None -> (sched, None)
+    | Some spec ->
+        let delivered, st = Fault.apply spec ~retries sched in
+        (delivered, Some st)
+  in
+  let retry_time_per_round =
+    match fault_stats with
+    | None -> 0.0
+    | Some st ->
+        List.fold_left (fun acc r -> acc +. retry_cost m r) 0.0 st.retries
+  in
+  let retry_time = float_of_int rounds *. retry_time_per_round in
+  par_time := retry_time;
   (* Per-processor cost of one communication event: every processor
      overlaps its own sends and receives; the event completes when the
      busiest processor does. *)
@@ -229,6 +258,8 @@ let run ?(rounds = 1) (lcg : Lcg.t) (plan : Distribution.plan) (m : Cost.machine
     per_proc =
       Array.init h (fun p0 ->
           { compute_time = proc_compute.(p0); access_time = proc_access.(p0) });
+    retry_time;
+    fault_stats;
   }
 
 let pp ppf (r : run) =
@@ -251,4 +282,12 @@ let pp ppf (r : run) =
         (match c.kind with Redistribution -> "before" | Frontier_update -> "after")
         c.before_phase c.words c.time)
     r.comms;
+  (match r.fault_stats with
+  | None -> ()
+  | Some st ->
+      Format.fprintf ppf
+        "  faults: %d msgs, %d dropped, %d duplicated, %d truncated, %d \
+         recovered (%d resend attempts, backoff t=%.0f)@,"
+        st.messages st.dropped st.duplicated st.truncated st.recovered
+        (Fault.total_attempts st) r.retry_time);
   Format.fprintf ppf "@]"

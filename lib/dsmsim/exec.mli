@@ -39,19 +39,35 @@ type run = {
   h : int;
   phases : phase_stats list;
   comms : comm_stats list;
-  par_time : float;  (** sum of phase maxima + communication *)
+  par_time : float;  (** sum of phase maxima + communication + retries *)
   seq_time : float;  (** one processor, all local *)
   efficiency : float;  (** seq / (h * par) *)
   total_local : int;
   total_remote : int;
   per_proc : proc_stats array;  (** work distribution across processors *)
+  retry_time : float;
+      (** exponential-backoff cycles spent resending faulted messages
+          (0 when fault injection is off) *)
+  fault_stats : Fault.stats option;  (** present when [faults] was given *)
 }
 
-val run : ?rounds:int -> Lcg.t -> Ilp.Distribution.plan -> Ilp.Cost.machine -> run
+val run :
+  ?rounds:int ->
+  ?on_error:(string -> unit) ->
+  ?faults:Fault.spec ->
+  ?retries:int ->
+  Lcg.t ->
+  Ilp.Distribution.plan ->
+  Ilp.Cost.machine ->
+  run
 (** [rounds] (default 1) replays the whole phase sequence that many
     times - the steady state of a repeating (timestep) program,
     including the wrap-around layout boundary between the last and
-    first phases. *)
+    first phases.  [on_error] receives schedule-generation diagnostics
+    (see {!Comm.generate}); [faults] perturbs the delivered schedule
+    with {!Fault.apply} under a [retries]-bounded resend budget whose
+    backoff cost is charged to [par_time] and reported in
+    [retry_time]. *)
 
 val pp : Format.formatter -> run -> unit
 

@@ -1,0 +1,161 @@
+type spec = { seed : int; drop : float; dup : float; trunc : float }
+
+let clamp r = if r < 0.0 then 0.0 else if r > 1.0 then 1.0 else r
+
+let spec ?(drop = 0.0) ?(dup = 0.0) ?(trunc = 0.0) ~seed () =
+  { seed; drop = clamp drop; dup = clamp dup; trunc = clamp trunc }
+
+let parse s =
+  let num what v =
+    match float_of_string_opt v with
+    | Some f when f >= 0.0 && f <= 1.0 -> Ok f
+    | _ -> Error (Printf.sprintf "bad %s rate %S (want a float in [0,1])" what v)
+  in
+  let ( let* ) = Result.bind in
+  match String.split_on_char ':' s with
+  | [ seed; rate ] | [ seed; rate; ""; "" ] -> (
+      match int_of_string_opt seed with
+      | None -> Error (Printf.sprintf "bad seed %S" seed)
+      | Some seed ->
+          let* drop = num "drop" rate in
+          Ok (spec ~drop ~seed ()))
+  | [ seed; d; u; t ] -> (
+      match int_of_string_opt seed with
+      | None -> Error (Printf.sprintf "bad seed %S" seed)
+      | Some seed ->
+          let* drop = num "drop" d in
+          let* dup = num "dup" u in
+          let* trunc = num "trunc" t in
+          Ok (spec ~drop ~dup ~trunc ~seed ()))
+  | _ -> Error (Printf.sprintf "bad fault spec %S (want SEED:RATE or SEED:DROP:DUP:TRUNC)" s)
+
+let to_string s =
+  Printf.sprintf "%d:%g:%g:%g" s.seed s.drop s.dup s.trunc
+
+type retry = {
+  src : int;
+  dst : int;
+  words : int;
+  attempts : int;
+  recovered : bool;
+}
+
+type stats = {
+  messages : int;
+  dropped : int;
+  duplicated : int;
+  truncated : int;
+  recovered : int;
+  retries : retry list;
+}
+
+let total_attempts st =
+  List.fold_left (fun acc r -> acc + r.attempts) 0 st.retries
+
+let unrecovered st = st.dropped + st.truncated
+
+type outcome = Intact | Drop | Dup | Trunc
+
+let draw st (s : spec) =
+  let u = Random.State.float st 1.0 in
+  if u < s.drop then Drop
+  else if u < s.drop +. s.dup then Dup
+  else if u < s.drop +. s.dup +. s.trunc then Trunc
+  else Intact
+
+(* First [k] cells of a message's range list. *)
+let rec take_words k = function
+  | [] -> []
+  | (lo, hi) :: rest ->
+      let n = hi - lo + 1 in
+      if k <= 0 then []
+      else if n <= k then (lo, hi) :: take_words (k - n) rest
+      else [ (lo, lo + k - 1) ]
+
+let truncate (m : Comm.message) =
+  let keep = m.words / 2 in
+  if keep <= 0 then None
+  else Some { m with ranges = take_words keep m.ranges; words = keep }
+
+let apply (s : spec) ?(retries = 0) (sched : Comm.schedule) :
+    Comm.schedule * stats =
+  let rng = Random.State.make [| s.seed; 0x0fa17 |] in
+  let messages = ref 0 in
+  let dropped = ref 0 and duplicated = ref 0 and truncated = ref 0 in
+  let recovered = ref 0 in
+  let retry_log = ref [] in
+  (* Resolve one message: the delivered copies (possibly none), after
+     granting the bounded retry budget to drops and truncations. *)
+  let resolve (m : Comm.message) : Comm.message list =
+    incr messages;
+    match draw rng s with
+    | Intact -> [ m ]
+    | Dup ->
+        incr duplicated;
+        [ m; m ]
+    | (Drop | Trunc) as first ->
+        let rec resend attempt =
+          if attempt > retries then `Exhausted
+          else
+            match draw rng s with
+            | Intact | Dup -> `Recovered attempt
+            | Drop | Trunc -> resend (attempt + 1)
+        in
+        let log attempts rec_ =
+          if attempts > 0 then
+            retry_log :=
+              {
+                src = m.src;
+                dst = m.dst;
+                words = m.words;
+                attempts;
+                recovered = rec_;
+              }
+              :: !retry_log
+        in
+        (match resend 1 with
+        | `Recovered attempts ->
+            incr recovered;
+            log attempts true;
+            [ m ]
+        | `Exhausted ->
+            log retries false;
+            (match first with
+            | Drop ->
+                incr dropped;
+                []
+            | Trunc -> (
+                match truncate m with
+                | None ->
+                    (* a one-word message has no deliverable prefix *)
+                    incr dropped;
+                    []
+                | Some short ->
+                    incr truncated;
+                    [ short ])
+            | Intact | Dup -> assert false))
+  in
+  let perturb_messages msgs = List.concat_map resolve msgs in
+  let delivered =
+    List.filter_map
+      (fun (e : Comm.event) ->
+        match e with
+        | Comm.Redistribute r -> (
+            match perturb_messages r.messages with
+            | [] -> None
+            | messages -> Some (Comm.Redistribute { r with messages }))
+        | Comm.Frontier f -> (
+            match perturb_messages f.messages with
+            | [] -> None
+            | messages -> Some (Comm.Frontier { f with messages })))
+      sched
+  in
+  ( delivered,
+    {
+      messages = !messages;
+      dropped = !dropped;
+      duplicated = !duplicated;
+      truncated = !truncated;
+      recovered = !recovered;
+      retries = List.rev !retry_log;
+    } )

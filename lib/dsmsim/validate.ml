@@ -1,4 +1,3 @@
-open Symbolic
 open Locality
 open Ilp
 
@@ -8,10 +7,11 @@ type report = {
   stale_examples : (string * int * int) list;
 }
 
-let run ?(rounds = 1) ?sched (lcg : Lcg.t) (plan : Distribution.plan) : report =
+let run ?(rounds = 1) ?on_error ?sched (lcg : Lcg.t) (plan : Distribution.plan)
+    : report =
   let h = plan.h in
   let sched =
-    match sched with Some s -> s | None -> Comm.generate lcg plan
+    match sched with Some s -> s | None -> Comm.generate ?on_error lcg plan
   in
   (* golden.(array, addr) = version after the latest sequential write *)
   let golden : (string * int, int) Hashtbl.t = Hashtbl.create 1024 in
@@ -28,12 +28,7 @@ let run ?(rounds = 1) ?sched (lcg : Lcg.t) (plan : Distribution.plan) : report =
     match Hashtbl.find_opt sizes array with
     | Some s -> s
     | None ->
-        let s =
-          try
-            Env.eval lcg.env
-              (Ir.Linearize.size ~dims:(Ir.Types.array_decl lcg.prog array).dims)
-          with _ -> 0
-        in
+        let s = Comm.array_size ?on_error lcg array in
         Hashtbl.add sizes array s;
         s
   in

@@ -32,12 +32,15 @@ type report = {
 
 val run :
   ?rounds:int ->
+  ?on_error:(string -> unit) ->
   ?sched:Comm.schedule ->
   Lcg.t ->
   Ilp.Distribution.plan ->
   report
 (** [sched] overrides the generated communication schedule - used to
-    demonstrate that omitting messages is detected. *)
+    demonstrate that omitting messages is detected, and to replay
+    fault-injected deliveries ({!Fault.apply}).  [on_error] receives
+    schedule-generation diagnostics (see {!Comm.generate}). *)
 
 val ok : report -> bool
 (** [stale = 0]. *)

@@ -42,7 +42,7 @@ let array_size (lcg : Lcg.t) array =
   try
     Env.eval lcg.env
       (Ir.Linearize.size ~dims:(Ir.Types.array_decl lcg.prog array).dims)
-  with _ -> 1
+  with Expr.Non_integral _ | Env.Unbound _ | Qnum.Overflow -> 1
 
 let ceil_div a b = (a + b - 1) / b
 
@@ -149,7 +149,7 @@ let of_solution (lcg : Lcg.t) ~p : plan =
                        storage distances of every chain node. *)
                     let near =
                       try Env.eval lcg.env side.primary.span_seq + (2 * dp)
-                      with Expr.Non_integral _ | Not_found -> 0
+                      with Expr.Non_integral _ | Env.Unbound _ | Qnum.Overflow -> 0
                     in
                     let eval_dists dists =
                       List.filter_map
@@ -157,7 +157,7 @@ let of_solution (lcg : Lcg.t) ~p : plan =
                           try
                             let v = Qnum.floor (Env.eval_q lcg.env d) in
                             if v > near then Some v else None
-                          with Expr.Non_integral _ | Not_found -> None)
+                          with Expr.Non_integral _ | Env.Unbound _ | Qnum.Overflow -> None)
                         dists
                       |> List.sort_uniq compare
                     in
@@ -249,7 +249,7 @@ let of_solution (lcg : Lcg.t) ~p : plan =
                         ignore (br, bh);
                         bl
                   end
-                with Expr.Non_integral _ | Not_found -> fallback))
+                with Expr.Non_integral _ | Env.Unbound _ | Qnum.Overflow -> fallback))
           chains)
       lcg.graphs
   in

@@ -64,7 +64,7 @@ let of_lcg (lcg : Lcg.t) : t =
                          and ci = Env.eval env r.c in
                          if ci <> 0 && abs ci < max ai bi then 0 else ci);
                     }
-                with Expr.Non_integral _ | Not_found -> None)
+                with Expr.Non_integral _ | Env.Unbound _ | Qnum.Overflow -> None)
             | _ -> None)
           g.edges)
       lcg.graphs
@@ -110,7 +110,7 @@ let of_lcg (lcg : Lcg.t) : t =
                        owns it. *)
                     let near =
                       try Env.eval env side.primary.span_seq + (2 * dp)
-                      with Expr.Non_integral _ | Not_found -> 0
+                      with Expr.Non_integral _ | Env.Unbound _ | Qnum.Overflow -> 0
                     in
                     let coeff = dp * h in
                     let coeff_expr =
@@ -132,7 +132,7 @@ let of_lcg (lcg : Lcg.t) : t =
                               Qnum.floor (Env.eval_q env limit_expr);
                             limit_expr;
                           }
-                      with Expr.Non_integral _ | Not_found -> None
+                      with Expr.Non_integral _ | Env.Unbound _ | Qnum.Overflow -> None
                     in
                     List.filter_map Fun.id
                       (List.map (fun d -> mk `Shifted d) n.sym.shifted
@@ -141,7 +141,7 @@ let of_lcg (lcg : Lcg.t) : t =
                             mk `Reverse
                               (Expr.scale (Qnum.make 1 2) d))
                           n.sym.reverse)
-                with Expr.Non_integral _ | Not_found -> []))
+                with Expr.Non_integral _ | Env.Unbound _ | Qnum.Overflow -> []))
           g.nodes)
       lcg.graphs
   in

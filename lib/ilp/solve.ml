@@ -26,7 +26,10 @@ let communication_words (lcg : Lcg.t) ~array ~phase_idx =
                Symbolic.Env.eval lcg.env
                  (Ir.Linearize.size
                     ~dims:(Ir.Types.array_decl lcg.prog array).dims)
-             with _ -> 0)))
+             with
+            | Symbolic.Expr.Non_integral _ | Symbolic.Env.Unbound _
+            | Symbolic.Qnum.Overflow ->
+                0)))
 
 (* The affine-rational value of a variable in terms of the component
    representative t: p = (num * t + off) / den. *)

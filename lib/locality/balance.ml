@@ -152,7 +152,7 @@ let solve ~env ~h ~nk ~ng (rel : relation) =
               pg = pg0 + (a' * t_lo);
               count = t_hi - t_lo + 1;
             }
-  with Expr.Non_integral _ | Not_found -> None
+  with Expr.Non_integral _ | Env.Unbound _ -> None
 
 let balanced ~env ~h ~nk ~ng idk idg =
   Option.bind (relation idk idg) (solve ~env ~h ~nk ~ng)

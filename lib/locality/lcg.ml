@@ -68,7 +68,7 @@ let build (prog : Types.program) ~env ~h : t =
                        intra = Intra.check ~sym ~attr id;
                        par_n =
                          (try Env.eval env (Phase.par_count ctx)
-                          with Expr.Non_integral _ | Not_found -> 1);
+                          with Expr.Non_integral _ | Env.Unbound _ -> 1);
                        par_expr = Phase.par_count ctx;
                        work = List.nth works k;
                      };
@@ -93,14 +93,26 @@ let build (prog : Types.program) ~env ~h : t =
                 ng = ng.par_n;
               }
           in
-          {
-            src = i;
-            dst = j;
-            label = r.label;
-            solution = r.solution;
-            relation = r.relation;
-            back;
-          }
+          (* A degraded (whole-array, inexact) descriptor at either
+             endpoint means the regions compared above are conservative
+             supersets: an L verdict would be unsound, so force such
+             edges to C.  D (privatization un-coupling) stands - it is
+             decided by liveness, not by descriptors. *)
+          if
+            Table1.equal_label r.label Table1.L
+            && not (nk.pd.Pd.exact && ng.pd.Pd.exact)
+          then
+            { src = i; dst = j; label = Table1.C; solution = None;
+              relation = None; back }
+          else
+            {
+              src = i;
+              dst = j;
+              label = r.label;
+              solution = r.solution;
+              relation = r.relation;
+              back;
+            }
         in
         let edges =
           if n <= 1 then []
@@ -148,7 +160,7 @@ let halo (t : t) (node : node) =
         in
         let _, ul0 = bounds 0 and lb1, _ = bounds 1 in
         if ul0 = min_int || lb1 = max_int then 0 else max 0 (ul0 - lb1 + 1)
-      with Region.Not_rectangular _ | Expr.Non_integral _ | Not_found -> 0)
+      with Region.Not_rectangular _ | Expr.Non_integral _ | Env.Unbound _ -> 0)
 
 let pp ppf (t : t) =
   Format.fprintf ppf "@[<v>LCG (H=%d, %a)@," t.h Env.pp t.env;
@@ -180,7 +192,7 @@ let region_bounds (t : t) (node : node) ~par =
         (max_int, min_int)
     in
     if fst b = max_int then None else Some b
-  with Region.Not_rectangular _ | Expr.Non_integral _ | Not_found -> None
+  with Region.Not_rectangular _ | Expr.Non_integral _ | Env.Unbound _ -> None
 
 let to_dot (t : t) =
   let buf = Buffer.create 1024 in

@@ -2,10 +2,14 @@ module M = Map.Make (String)
 
 type t = int M.t
 
+exception Unbound of string
+
 let empty = M.empty
 let of_list l = List.fold_left (fun m (k, v) -> M.add k v m) M.empty l
 let add = M.add
-let find env v = match M.find_opt v env with Some x -> x | None -> raise Not_found
+
+let find env v =
+  match M.find_opt v env with Some x -> x | None -> raise (Unbound v)
 let find_opt env v = M.find_opt v env
 let mem env v = M.mem v env
 let bindings = M.bindings

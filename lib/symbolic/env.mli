@@ -2,11 +2,15 @@
 
 type t
 
+exception Unbound of string
+(** Raised by {!find} (and everything built on it) for an unbound
+    variable, carrying the variable's name. *)
+
 val empty : t
 val of_list : (string * int) list -> t
 val add : string -> int -> t -> t
 val find : t -> string -> int
-(** @raise Not_found when unbound. *)
+(** @raise Unbound when the variable has no binding. *)
 
 val find_opt : t -> string -> int option
 val mem : t -> string -> bool

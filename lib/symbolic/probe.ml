@@ -44,7 +44,7 @@ let forall asm (f : Env.t -> bool) =
        if not (f env) then ok := false
      done;
      ()
-   with Expr.Non_integral _ | Not_found | Division_by_zero | Qnum.Division_by_zero ->
+   with Expr.Non_integral _ | Env.Unbound _ | Division_by_zero | Qnum.Division_by_zero ->
      ok := false);
   !ok
 

@@ -31,7 +31,7 @@ let monotonicity asm v e =
          let env = Probe.sample asm in
          if not (check env) then ok := false
        done
-     with Expr.Non_integral _ | Not_found | Division_by_zero | Qnum.Division_by_zero
+     with Expr.Non_integral _ | Env.Unbound _ | Division_by_zero | Qnum.Division_by_zero
      -> ok := false);
     if not !ok then `Mixed
     else
@@ -93,7 +93,7 @@ let eliminate asm dir ~over e =
            let env = Probe.sample asm in
            if not (cmp (Env.eval_q env bound) (Env.eval_q env e)) then ok := false
          done
-       with Expr.Non_integral _ | Not_found | Division_by_zero | Qnum.Division_by_zero
+       with Expr.Non_integral _ | Env.Unbound _ | Division_by_zero | Qnum.Division_by_zero
        -> ok := false);
       if !ok then Some bound else None
 

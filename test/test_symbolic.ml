@@ -34,6 +34,30 @@ let test_qnum_overflow () =
   Alcotest.check_raises "div by zero" Qnum.Division_by_zero (fun () ->
       ignore (Qnum.make 1 0))
 
+(* Saturation boundaries of the 63-bit integer representation: the
+   largest power of two with an exactly-representable square-free
+   numerator/denominator is 2^61; max_int itself is 2^62 - 1. *)
+let test_qnum_boundaries () =
+  Alcotest.(check qnum) "pow2 61" (Qnum.of_int (1 lsl 61)) (Qnum.pow2 61);
+  Alcotest.(check qnum) "pow2 -61"
+    (Qnum.make 1 (1 lsl 61))
+    (Qnum.pow2 (-61));
+  Alcotest.check_raises "pow2 62" Qnum.Overflow (fun () ->
+      ignore (Qnum.pow2 62));
+  Alcotest.check_raises "pow2 -62" Qnum.Overflow (fun () ->
+      ignore (Qnum.pow2 (-62)));
+  Alcotest.check_raises "add saturates" Qnum.Overflow (fun () ->
+      ignore (Qnum.add (Qnum.of_int max_int) Qnum.one));
+  Alcotest.check_raises "mul 2^31 * 2^31" Qnum.Overflow (fun () ->
+      (* 2^62 exceeds max_int = 2^62 - 1 *)
+      ignore (Qnum.mul (Qnum.of_int (1 lsl 31)) (Qnum.of_int (1 lsl 31))));
+  (* differing signs cannot overflow *)
+  Alcotest.(check qnum) "max_int + min_int" (Qnum.of_int (-1))
+    (Qnum.add (Qnum.of_int max_int) (Qnum.of_int min_int));
+  Alcotest.(check qnum) "2^30 * 2^31"
+    (Qnum.of_int (1 lsl 61))
+    (Qnum.mul (Qnum.of_int (1 lsl 30)) (Qnum.of_int (1 lsl 31)))
+
 (* ------------------------------------------------------------------ *)
 (* Expr normal form *)
 
@@ -344,6 +368,7 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_qnum_basic;
           Alcotest.test_case "overflow" `Quick test_qnum_overflow;
+          Alcotest.test_case "boundaries" `Quick test_qnum_boundaries;
         ] );
       ( "expr",
         [
