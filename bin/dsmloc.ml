@@ -91,6 +91,10 @@ let run_pipeline ?(strict = false) ?max_errors entry env h =
   | exception Core.Diag.Too_many_errors n ->
       Printf.eprintf "aborted: more than %d error-severity diagnostics\n" n;
       exit 1
+  | exception Core.Lint.Failed ds ->
+      Format.eprintf "%a@?" Core.Diag.pp_table ds;
+      Printf.eprintf "strict mode: lint found errors\n";
+      exit 1
   | exception e when strict ->
       Printf.eprintf "strict mode: %s\n" (Printexc.to_string e);
       exit 1
@@ -336,11 +340,12 @@ let file_cmd =
         Printf.eprintf "%s:%d: %s\n" path line message;
         exit 1
     | prog ->
-        let prog =
-          if autopar then
-            Ir.Autopar.mark (Ir.Autopar.recognize_reductions prog)
-          else prog
-        in
+        let diags = Core.Diag.collector ?max_errors () in
+        (* Certified auto-parallelization: the descriptor-based race
+           certifier decides loops statically, sampling is only the
+           fallback, and any static/dynamic disagreement surfaces as a
+           RACE-ORACLE-MISMATCH diagnostic. *)
+        let prog = if autopar then Core.Lint.autopar ~diags prog else prog in
         let env =
           if bindings = "" then
             (* default: midpoint of each declared parameter range *)
@@ -372,13 +377,16 @@ let file_cmd =
                        exit 1)
                  Symbolic.Env.empty
         in
-        let diags = Core.Diag.collector ?max_errors () in
         let t =
           match Core.Pipeline.run ~strict ~diags prog ~env ~h with
           | t -> t
           | exception Core.Diag.Too_many_errors n ->
               Printf.eprintf
                 "aborted: more than %d error-severity diagnostics\n" n;
+              exit 1
+          | exception Core.Lint.Failed ds ->
+              Format.eprintf "%a@?" Core.Diag.pp_table ds;
+              Printf.eprintf "strict mode: lint found errors\n";
               exit 1
           | exception e when strict ->
               Printf.eprintf "strict mode: %s\n" (Printexc.to_string e);
@@ -397,6 +405,74 @@ let file_cmd =
       const f $ path_arg $ procs_arg $ env_arg $ autopar_arg $ strict_arg
       $ max_errors_arg)
 
+let lint_cmd =
+  let targets_arg =
+    let doc =
+      "Registry benchmark name or surface-language file (.dsm) to lint."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"TARGET" ~doc)
+  in
+  let all_arg =
+    let doc = "Lint every registry benchmark (in addition to TARGETs)." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let lint_strict_arg =
+    let doc = "Fail (exit 2) on warning-severity findings too." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let f targets all strict =
+    let targets = targets @ if all then Codes.Registry.names else [] in
+    if targets = [] then begin
+      Printf.eprintf
+        "nothing to lint; give a benchmark name or a .dsm file, or --all\n";
+      exit 1
+    end;
+    let failed = ref false in
+    List.iter
+      (fun target ->
+        let prog =
+          if Filename.check_suffix target ".dsm" || Sys.file_exists target then
+            match Frontend.Parse.program_file target with
+            | p -> p
+            | exception Frontend.Parse.Error { line; message } ->
+                Printf.eprintf "%s:%d: %s\n" target line message;
+                exit 1
+            | exception Sys_error msg ->
+                Printf.eprintf "%s\n" msg;
+                exit 1
+          else
+            match Codes.Registry.find target with
+            | e -> e.program
+            | exception Not_found ->
+                Printf.eprintf "unknown target %S; try a .dsm path or: %s\n"
+                  target
+                  (String.concat ", " Codes.Registry.names);
+                exit 1
+        in
+        (* one tab-separated line per finding: machine-readable, stable
+           columns target/severity/code/where/message *)
+        List.iter
+          (fun (d : Core.Diag.t) ->
+            Printf.printf "%s\t%s\t%s\t%s\t%s\n" target
+              (Core.Diag.severity_to_string d.severity)
+              d.code
+              (Core.Diag.where_to_string d)
+              d.message;
+            match d.severity with
+            | Core.Diag.Error -> failed := true
+            | Core.Diag.Warning -> if strict then failed := true
+            | Core.Diag.Info -> ())
+          (Core.Lint.check prog))
+      targets;
+    if !failed then exit 2
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static lint pass (LINT-* catalog) over benchmarks or .dsm \
+          files; exits 2 when any error-severity finding is reported.")
+    Term.(const f $ targets_arg $ all_arg $ lint_strict_arg)
+
 let () =
   let info =
     Cmd.info "dsmloc" ~version:"1.0.0"
@@ -407,4 +483,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; analyze_cmd; lcg_cmd; solve_cmd; simulate_cmd; sweep_cmd; comm_cmd; dot_cmd; spmd_cmd; report_cmd; table1_cmd; stability_cmd; validate_cmd; file_cmd ]))
+          [ list_cmd; analyze_cmd; lcg_cmd; solve_cmd; simulate_cmd; sweep_cmd; comm_cmd; dot_cmd; spmd_cmd; report_cmd; table1_cmd; stability_cmd; validate_cmd; file_cmd; lint_cmd ]))

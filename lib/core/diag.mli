@@ -25,12 +25,24 @@
     - [COMM-SIZE]: an array size would not evaluate while generating
       the communication schedule (the array's messages are omitted);
     - [FAULT-INJECTED], [FAULT-UNRECOVERED]: fault-injection summary /
-      corruption that survived the bounded-retry budget. *)
+      corruption that survived the bounded-retry budget;
+    - [LINT-*]: the static lint catalog (see {!Lint.catalog} and
+      DESIGN.md, "Static certification & lint catalog");
+    - [RACE-ORACLE-MISMATCH]: the static race certifier and the dynamic
+      sampling oracle contradicted each other on a loop - a soundness
+      alarm, never silently resolved (emitted by {!Lint.autopar}).
+
+    The optional [where] field pins a diagnostic to a program location:
+    by convention ["<phase>/<loop var>"] for loop-level findings (e.g.
+    ["SWEEP/j"]), ["<phase>"] for phase-level ones, or an array name
+    for declaration-level ones. *)
 
 type severity = Info | Warning | Error
 
 type stage =
   | Frontend
+  | Lint
+  | Autopar
   | Descriptors
   | Lcg
   | Model
@@ -43,6 +55,7 @@ type stage =
 type t = {
   severity : severity;
   stage : stage;
+  where : string option;  (** source position: phase / loop / array *)
   code : string;  (** stable machine-readable code, e.g. [DESC-WHOLE-ARRAY] *)
   message : string;
 }
@@ -59,12 +72,19 @@ val collector : ?max_errors:int -> unit -> collector
     {!Too_many_errors} (unbounded by default). *)
 
 val add :
-  collector -> severity:severity -> stage:stage -> code:string -> string -> unit
+  collector ->
+  severity:severity ->
+  stage:stage ->
+  ?where:string ->
+  code:string ->
+  string ->
+  unit
 
 val addf :
   collector ->
   severity:severity ->
   stage:stage ->
+  ?where:string ->
   code:string ->
   ('a, unit, string, unit) format4 ->
   'a
@@ -83,6 +103,10 @@ val max_severity : collector -> severity option
 
 val severity_to_string : severity -> string
 val stage_to_string : stage -> string
+
+val where_to_string : t -> string
+(** The [where] field, or ["-"] when absent. *)
+
 val pp : Format.formatter -> t -> unit
 val pp_table : Format.formatter -> t list -> unit
 (** Aligned table, one diagnostic per row; prints nothing when empty. *)

@@ -1,0 +1,341 @@
+open Symbolic
+open Ir
+module Racecheck = Descriptor.Racecheck
+
+exception Failed of Diag.t list
+
+let catalog =
+  [
+    ( "LINT-MULTI-PARALLEL",
+      Diag.Error,
+      "more than one loop of a phase is marked parallel" );
+    ("LINT-UNDECLARED-ARRAY", Diag.Error, "reference to an undeclared array");
+    ( "LINT-SUBSCRIPT",
+      Diag.Warning,
+      "subscript outside the affine class (or rank mismatch: error)" );
+    ( "LINT-UNBOUND-PARAM",
+      Diag.Error,
+      "bound, subscript or extent mentions an undeclared variable" );
+    ("LINT-NONNORMAL", Diag.Info, "loop does not run from 0 with step 1");
+    ( "LINT-BOUNDS",
+      Diag.Error,
+      "sampled access outside the array's declared extent" );
+    ("LINT-DEAD-WRITE", Diag.Warning, "array written but never read");
+    ( "LINT-RACE",
+      Diag.Error,
+      "declared parallel loop carries a cross-iteration dependence" );
+    ( "LINT-UNCERTIFIED",
+      Diag.Info,
+      "declared parallel loop neither certified nor refuted" );
+  ]
+
+let where_loop (ph : Types.phase) v = ph.Types.phase_name ^ "/" ^ v
+
+(* Exceptions descriptor/enumeration machinery may raise on malformed
+   or out-of-class programs; lint rules that depend on analysis skip
+   the phase on these (the structural rules report the cause). *)
+let recoverable = function
+  | Phase.Invalid_phase _ | Env.Unbound _ | Expr.Non_integral _ | Not_found
+  | Invalid_argument _ | Division_by_zero | Qnum.Overflow
+  | Qnum.Division_by_zero ->
+      true
+  | _ -> false
+
+let default_envs (prog : Types.program) =
+  let st = Random.State.make [| 5; 13; 1999 |] in
+  List.init 3 (fun _ -> Assume.sample ~state:st prog.Types.params)
+
+(* ------------------------------------------------------------------ *)
+(* Structural walks *)
+
+let rec fold_loops f acc (l : Types.loop) =
+  let acc = f acc l in
+  List.fold_left
+    (fun acc -> function Types.Loop i -> fold_loops f acc i | Types.Assign _ -> acc)
+    acc l.Types.body
+
+let loop_vars (ph : Types.phase) =
+  List.rev (fold_loops (fun acc l -> l.Types.var :: acc) [] ph.Types.nest)
+
+(* Marked parallel loops of a nest, with their Autopar-style paths. *)
+let parallel_paths (nest : Types.loop) =
+  List.filter
+    (fun path ->
+      let rec at (l : Types.loop) = function
+        | [] -> l
+        | k :: rest ->
+            let inner =
+              List.filter_map
+                (function Types.Loop i -> Some i | Types.Assign _ -> None)
+                l.Types.body
+            in
+            at (List.nth inner k) rest
+      in
+      (at nest path).Types.parallel)
+    (Autopar.loop_paths nest)
+
+(* ------------------------------------------------------------------ *)
+(* Per-phase structural rules *)
+
+let rule_multi_parallel c (ph : Types.phase) =
+  match parallel_paths ph.Types.nest with
+  | [] | [ _ ] -> ()
+  | paths ->
+      Diag.addf c ~severity:Error ~stage:Lint ~where:ph.Types.phase_name
+        ~code:"LINT-MULTI-PARALLEL"
+        "%d loops marked parallel; a phase admits at most one"
+        (List.length paths)
+
+let rule_refs c (prog : Types.program) (ph : Types.phase) =
+  let seen = Hashtbl.create 8 in
+  let once key f = if not (Hashtbl.mem seen key) then (Hashtbl.add seen key (); f ()) in
+  List.iter
+    (fun (r : Types.array_ref) ->
+      match
+        List.find_opt
+          (fun (d : Types.array_decl) -> String.equal d.Types.name r.Types.array)
+          prog.Types.arrays
+      with
+      | None ->
+          once ("undecl", r.Types.array) (fun () ->
+              Diag.addf c ~severity:Error ~stage:Lint ~where:ph.Types.phase_name
+                ~code:"LINT-UNDECLARED-ARRAY" "array %s is not declared"
+                r.Types.array)
+      | Some d ->
+          let rank = List.length d.Types.dims in
+          let used = List.length r.Types.index in
+          if rank <> used then
+            once ("rank", r.Types.array) (fun () ->
+                Diag.addf c ~severity:Error ~stage:Lint
+                  ~where:ph.Types.phase_name ~code:"LINT-SUBSCRIPT"
+                  "%s referenced with %d subscripts but declared with rank %d"
+                  r.Types.array used rank))
+    (Types.stmt_refs (Types.Loop ph.Types.nest))
+
+let rule_unbound c (prog : Types.program) (ph : Types.phase) =
+  let known = loop_vars ph @ Assume.vars prog.Types.params in
+  let seen = Hashtbl.create 8 in
+  let report what e =
+    List.iter
+      (fun v ->
+        if (not (List.mem v known)) && not (Hashtbl.mem seen v) then begin
+          Hashtbl.add seen v ();
+          Diag.addf c ~severity:Error ~stage:Lint ~where:(where_loop ph what)
+            ~code:"LINT-UNBOUND-PARAM"
+            "%s mentions %s, which is neither a loop index nor a declared \
+             parameter"
+            (Expr.to_string e) v
+        end)
+      (Expr.vars e)
+  in
+  ignore
+    (fold_loops
+       (fun () (l : Types.loop) ->
+         report l.Types.var l.Types.lo;
+         report l.Types.var l.Types.hi;
+         report l.Types.var l.Types.step;
+         List.iter
+           (function
+             | Types.Assign a ->
+                 List.iter
+                   (fun (r : Types.array_ref) ->
+                     List.iter (report l.Types.var) r.Types.index)
+                   a.Types.refs
+             | Types.Loop _ -> ())
+           l.Types.body)
+       () ph.Types.nest)
+
+let rule_nonnormal c (ph : Types.phase) =
+  ignore
+    (fold_loops
+       (fun () (l : Types.loop) ->
+         if not (Expr.is_zero l.Types.lo && Expr.equal l.Types.step Expr.one)
+         then
+           Diag.addf c ~severity:Info ~stage:Lint
+             ~where:(where_loop ph l.Types.var) ~code:"LINT-NONNORMAL"
+             "loop %s runs %s..%s step %s (normalized before analysis)"
+             l.Types.var
+             (Expr.to_string l.Types.lo)
+             (Expr.to_string l.Types.hi)
+             (Expr.to_string l.Types.step))
+       () ph.Types.nest)
+
+let rule_subscript c (ph : Types.phase) =
+  let lvars = loop_vars ph in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Types.array_ref) ->
+      List.iter
+        (fun e ->
+          List.iter
+            (fun v ->
+              if
+                List.mem v lvars
+                && Expr.linear_in v e = None
+                && not (Hashtbl.mem seen (r.Types.array, v))
+              then begin
+                Hashtbl.add seen (r.Types.array, v) ();
+                Diag.addf c ~severity:Warning ~stage:Lint
+                  ~where:(where_loop ph v) ~code:"LINT-SUBSCRIPT"
+                  "%s(%s) is non-linear in %s; its descriptor degrades to the \
+                   whole array"
+                  r.Types.array (Expr.to_string e) v
+              end)
+            (Expr.vars e))
+        r.Types.index)
+    (Types.stmt_refs (Types.Loop ph.Types.nest))
+
+(* ------------------------------------------------------------------ *)
+(* Sampled rules *)
+
+let rule_bounds c (prog : Types.program) envs (ph : Types.phase) =
+  let bad = Hashtbl.create 4 in
+  (try
+     List.iter
+       (fun env ->
+         let size =
+           let tbl = Hashtbl.create 8 in
+           fun array ->
+             match Hashtbl.find_opt tbl array with
+             | Some s -> s
+             | None ->
+                 let d = Types.array_decl prog array in
+                 let s = Env.eval env (Linearize.size ~dims:d.Types.dims) in
+                 Hashtbl.add tbl array s;
+                 s
+         in
+         Enumerate.iter prog env ph ~f:(fun ~par:_ ~array ~addr _ ~work:_ ->
+             if (addr < 0 || addr >= size array) && not (Hashtbl.mem bad array)
+             then Hashtbl.add bad array addr))
+       envs
+   with e when recoverable e -> ());
+  Hashtbl.iter
+    (fun array addr ->
+      Diag.addf c ~severity:Error ~stage:Lint ~where:ph.Types.phase_name
+        ~code:"LINT-BOUNDS"
+        "access to %s at flat address %d, outside its declared extent" array
+        addr)
+    bad
+
+let rule_dead_write c (prog : Types.program) =
+  List.iter
+    (fun (d : Types.array_decl) ->
+      let name = d.Types.name in
+      let attrs =
+        List.filter_map
+          (fun ph ->
+            if List.mem name (Types.phase_arrays ph) then
+              try Some (Liveness.static_attr prog ph ~array:name)
+              with e when recoverable e -> None
+            else None)
+          prog.Types.phases
+      in
+      let writes =
+        List.exists (fun a -> a = Liveness.W || a = Liveness.RW) attrs
+      in
+      let reads =
+        List.exists (fun a -> a = Liveness.R || a = Liveness.RW) attrs
+      in
+      if writes && not reads then
+        Diag.addf c ~severity:Warning ~stage:Lint ~where:name
+          ~code:"LINT-DEAD-WRITE"
+          "%s is written but never read; dead computation or un-consumed \
+           output"
+          name)
+    prog.Types.arrays
+
+(* ------------------------------------------------------------------ *)
+(* Certifier-backed rules *)
+
+let rule_race c (prog : Types.program) envs (ph : Types.phase) =
+  List.iter
+    (fun path ->
+      let var = try Autopar.loop_var_at ph.Types.nest path with _ -> "?" in
+      match Racecheck.certify prog ph ~loop_path:path with
+      | Racecheck.Proved_independent -> ()
+      | Racecheck.Proved_dependent w ->
+          Diag.addf c ~severity:Error ~stage:Lint ~where:(where_loop ph var)
+            ~code:"LINT-RACE"
+            "declared parallel, but iterations share %s (%s, distance %+d): %s"
+            w.Racecheck.w_array w.Racecheck.w_kind w.Racecheck.w_distance
+            w.Racecheck.w_note
+      | Racecheck.Unknown reason -> (
+          match
+            try
+              Some
+                (List.for_all
+                   (fun env -> Autopar.independent prog env ph ~loop_path:path)
+                   envs)
+            with e when recoverable e -> None
+          with
+          | Some true | None ->
+              Diag.addf c ~severity:Info ~stage:Lint ~where:(where_loop ph var)
+                ~code:"LINT-UNCERTIFIED"
+                "parallel marking rests on sampling only; certifier: %s" reason
+          | Some false ->
+              Diag.addf c ~severity:Error ~stage:Lint
+                ~where:(where_loop ph var) ~code:"LINT-RACE"
+                "declared parallel, but sampling found a cross-iteration \
+                 conflict (certifier: %s)"
+                reason))
+    (parallel_paths ph.Types.nest)
+
+(* ------------------------------------------------------------------ *)
+
+let check ?(racecheck = true) ?envs ?diags (prog : Types.program) =
+  let envs = match envs with Some e -> e | None -> default_envs prog in
+  let c = Diag.collector () in
+  List.iter
+    (fun ph ->
+      rule_multi_parallel c ph;
+      rule_refs c prog ph;
+      rule_unbound c prog ph;
+      rule_nonnormal c ph;
+      rule_subscript c ph;
+      rule_bounds c prog envs ph;
+      if racecheck then rule_race c prog envs ph)
+    prog.Types.phases;
+  rule_dead_write c prog;
+  let findings = Diag.to_list c in
+  (match diags with
+  | None -> ()
+  | Some d ->
+      List.iter
+        (fun (f : Diag.t) ->
+          Diag.add d ~severity:f.Diag.severity ~stage:f.Diag.stage
+            ?where:f.Diag.where ~code:f.Diag.code f.Diag.message)
+        findings);
+  findings
+
+let autopar ?envs ?diags (prog : Types.program) =
+  let envs = match envs with Some e -> e | None -> default_envs prog in
+  let prog = Autopar.recognize_reductions ~envs prog in
+  let phases =
+    List.map
+      (fun ph ->
+        let d = Autopar.decide ~certify:Racecheck.certifier ~envs prog ph in
+        (match diags with
+        | None -> ()
+        | Some c ->
+            List.iter
+              (fun (r : Autopar.probe_report) ->
+                let static =
+                  match r.Autopar.static_verdict with
+                  | Some `Independent -> "independent"
+                  | Some `Dependent -> "dependent"
+                  | _ -> "unknown"
+                in
+                Diag.addf c ~severity:Error ~stage:Autopar
+                  ~where:(where_loop ph r.Autopar.var)
+                  ~code:"RACE-ORACLE-MISMATCH"
+                  "certifier says %s but the sampling oracle %s; one of them \
+                   is wrong - please report"
+                  static
+                  (if r.Autopar.sampled = Some true then
+                     "found no conflict on any sample"
+                   else "found a conflict"))
+              (Autopar.mismatches d));
+        d.Autopar.dec_phase)
+      prog.Types.phases
+  in
+  { prog with Types.phases }

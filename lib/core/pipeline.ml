@@ -37,11 +37,21 @@ let guard ~strict ~diags ~stage ~code ~fallback f =
       "stage failed (%s); using conservative fallback" (describe e);
     fallback ()
 
-let run ?machine ?(strict = false) ?diags prog ~env ~h =
+let run ?machine ?(strict = false) ?(lint = true) ?diags prog ~env ~h =
   let diags = match diags with Some d -> d | None -> Diag.collector () in
   let machine =
     match machine with Some m -> m | None -> Ilp.Cost.default_machine ~h
   in
+  (* Lint first: malformed input is reported with positions before any
+     descriptor machinery can trip over it.  Under [strict] a program
+     with Error-severity findings is refused outright. *)
+  if lint then begin
+    let findings = Lint.check ~diags prog in
+    if
+      strict
+      && List.exists (fun (f : Diag.t) -> f.Diag.severity = Diag.Error) findings
+    then raise (Lint.Failed findings)
+  end;
   let lcg =
     guard ~strict ~diags ~stage:Diag.Lcg ~code:"LCG-FAIL"
       ~fallback:(fun () -> { Locality.Lcg.prog; env; h; graphs = [] })
@@ -55,11 +65,15 @@ let run ?machine ?(strict = false) ?diags prog ~env ~h =
       List.iter
         (fun (n : Locality.Lcg.node) ->
           if not n.pd.Descriptor.Pd.exact then
+            let where =
+              match List.nth_opt prog.Ir.Types.phases n.phase_idx with
+              | Some ph -> ph.Ir.Types.phase_name
+              | None -> Printf.sprintf "phase %d" n.phase_idx
+            in
             Diag.addf diags ~severity:Diag.Warning ~stage:Diag.Descriptors
-              ~code:"DESC-WHOLE-ARRAY"
-              "%s in phase %d: conservative whole-array descriptor (edges \
-               forced to C)"
-              g.Locality.Lcg.array n.phase_idx)
+              ~where ~code:"DESC-WHOLE-ARRAY"
+              "%s: conservative whole-array descriptor (edges forced to C)"
+              g.Locality.Lcg.array)
         g.Locality.Lcg.nodes)
     lcg.graphs;
   let model =

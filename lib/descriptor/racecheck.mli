@@ -1,0 +1,67 @@
+(** Descriptor-based static race certification.
+
+    Decides, symbolically, whether the iterations of a candidate
+    parallel loop are free of loop-carried dependences - the question
+    {!Ir.Autopar} otherwise answers by sampling parameter environments
+    and intersecting concrete address sets.  The decision is built
+    entirely from the paper's access-descriptor machinery: per-array
+    Iteration Descriptors ({!Id}) of the candidate loop give each
+    iteration's touched region as [tau_B(i) .. tau_B(i) + span], and
+    disjointness across distinct iterations reduces to stride/span/
+    offset arithmetic over those rows (the same quantities behind the
+    overlap-distance Delta_s test of {!Symmetry}), with
+    {!Symbolic.Range} bounding row extents whose offsets still mention
+    sequential loop indices.
+
+    The three-valued answer is asymmetric by design:
+
+    - [Proved_independent] is a {e certificate}: no two distinct
+      iterations of the loop (within one instance of its enclosing
+      loops) can touch a common address with a write involved.  The
+      claim rests on {!Symbolic.Probe}'s randomized identity testing,
+      so it carries the same vanishingly-small error probability as
+      every other identity the analysis trusts - and the differential
+      test suite checks it against the dynamic oracle on every sampled
+      environment.
+    - [Proved_dependent] carries a witness: a pair of descriptor rows
+      and an iteration distance at which a written cell is provably
+      shared, for {e every} admissible parameter assignment.
+    - [Unknown] means the loop is outside the class the certifier can
+      decide (non-affine subscripts degraded to whole-array
+      descriptors, non-uniform strides, row extents that cannot be
+      separated); callers fall back to the sampling oracle.
+
+    Soundness argument (see DESIGN.md, "Static certification"): every
+    simplification is one-directional.  Whole-array or non-rectangular
+    descriptors, unbounded extents, or failed probes all collapse to
+    [Unknown], never to a certificate; dependence witnesses are only
+    produced from dense rows whose sequential extent lies entirely
+    inside the candidate loop, so a shared cell in the descriptor
+    region is a shared cell in one loop instance. *)
+
+type witness = {
+  w_array : string;  (** the conflicting array *)
+  w_kind : string;  (** [write-write], [write-read] or [read-write] *)
+  w_distance : int;  (** iteration distance of the proven conflict *)
+  w_note : string;  (** human-readable row/offset evidence *)
+}
+
+type verdict =
+  | Proved_independent
+  | Proved_dependent of witness
+  | Unknown of string  (** why the certifier gave up *)
+
+val certify :
+  Ir.Types.program -> Ir.Types.phase -> loop_path:int list -> verdict
+(** Certify the loop reached by descending [loop_path] (as in
+    {!Ir.Autopar.independent}): the loop is re-marked as the phase's
+    parallel loop and its cross-iteration dependence structure is
+    decided from the per-array Iteration Descriptors. *)
+
+val certifier : Ir.Autopar.certifier
+(** {!certify} collapsed to the three-valued shape {!Ir.Autopar}
+    consumes ([Proved_dependent] witnesses and [Unknown] reasons
+    dropped). *)
+
+val verdict_to_string : verdict -> string
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -92,34 +92,103 @@ let default_envs (prog : program) =
   let st = Random.State.make [| 11; 17; 2029 |] in
   List.init 3 (fun _ -> Assume.sample ~state:st prog.params)
 
-let mark_phase ?envs (prog : program) (ph : phase) : phase =
+type verdict = [ `Independent | `Dependent | `Unknown ]
+type certifier = program -> phase -> loop_path:int list -> verdict
+type source = Certified | Sampled
+
+type probe_report = {
+  path : int list;
+  var : string;
+  static_verdict : verdict option;
+  sampled : bool option;
+}
+
+type decision = {
+  dec_phase : phase;
+  chosen : (int list * source) option;
+  probes : probe_report list;
+}
+
+let loop_var_at (nest : loop) (path : int list) : string =
+  let rec go (l : loop) = function
+    | [] -> l.var
+    | k :: rest ->
+        let loops =
+          List.filter_map (function Loop i -> Some i | Assign _ -> None) l.body
+        in
+        go (List.nth loops k) rest
+  in
+  go nest path
+
+let mismatch (r : probe_report) =
+  match (r.static_verdict, r.sampled) with
+  | Some `Independent, Some false -> true
+  | Some `Dependent, Some true -> true
+  | _ -> false
+
+let mismatches (d : decision) = List.filter mismatch d.probes
+
+let clear_markings (l : loop) =
+  let rec clear (l : loop) =
+    {
+      l with
+      parallel = false;
+      body =
+        List.map
+          (function Loop i -> Loop (clear i) | Assign a -> Assign a)
+          l.body;
+    }
+  in
+  clear l
+
+let decide ?certify ?envs (prog : program) (ph : phase) : decision =
   let envs = match envs with Some e -> e | None -> default_envs prog in
   let paths = loop_paths ph.nest in
-  let chosen =
-    List.find_opt
-      (fun path ->
-        envs <> []
-        && List.for_all (fun env -> independent prog env ph ~loop_path:path) envs)
-      paths
+  let probes = ref [] in
+  let rec scan = function
+    | [] -> None
+    | path :: rest ->
+        let static_verdict =
+          Option.map (fun c -> c prog ph ~loop_path:path) certify
+        in
+        (* The sampled verdict is always computed when environments are
+           available - even when the certifier has already decided - so
+           that static/dynamic disagreements are visible to callers
+           rather than silently resolved. *)
+        let sampled =
+          if envs = [] then None
+          else
+            Some
+              (List.for_all
+                 (fun env -> independent prog env ph ~loop_path:path)
+                 envs)
+        in
+        probes :=
+          { path; var = loop_var_at ph.nest path; static_verdict; sampled }
+          :: !probes;
+        (match (static_verdict, sampled) with
+        | Some `Independent, _ -> Some (path, Certified)
+        | Some `Dependent, _ ->
+            (* The certifier's refutation wins even when sampling saw no
+               conflict (a missed-by-sampling race); the disagreement is
+               recorded in the probe report. *)
+            scan rest
+        | _, Some true -> Some (path, Sampled)
+        | _, _ -> scan rest)
   in
-  match chosen with
-  | Some path -> { ph with nest = set_parallel ph.nest path }
-  | None ->
-      (* nothing parallelizable: clear all markings *)
-      let rec clear (l : loop) =
-        {
-          l with
-          parallel = false;
-          body =
-            List.map
-              (function Loop i -> Loop (clear i) | Assign a -> Assign a)
-              l.body;
-        }
-      in
-      { ph with nest = clear ph.nest }
+  let chosen = scan paths in
+  let dec_phase =
+    match chosen with
+    | Some (path, _) -> { ph with nest = set_parallel ph.nest path }
+    | None -> { ph with nest = clear_markings ph.nest }
+  in
+  { dec_phase; chosen; probes = List.rev !probes }
 
-let mark ?envs (prog : program) : program =
-  { prog with phases = List.map (mark_phase ?envs prog) prog.phases }
+let mark_phase ?certify ?envs (prog : program) (ph : phase) : phase =
+  (decide ?certify ?envs prog ph).dec_phase
+
+let mark ?certify ?envs (prog : program) : program =
+  { prog with phases = List.map (mark_phase ?certify ?envs prog) prog.phases }
 
 (* ------------------------------------------------------------------ *)
 (* Reduction privatization *)

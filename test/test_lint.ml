@@ -1,0 +1,360 @@
+(* The lint catalog: a targeted negative test per LINT-* code (each
+   code must fire on a minimal crafted program), golden expected-code
+   sets for every registry benchmark, and the no-error guarantee the CI
+   lint job enforces over the shipped samples. *)
+
+open Symbolic
+open Ir
+module Diag = Core.Diag
+module Lint = Core.Lint
+
+let v = Expr.var
+
+let prog ?(params = Assume.of_list [ ("N", Assume.Int_range (8, 24)) ])
+    ?(arrays = []) nest =
+  Build.program ~name:"t" ~params ~arrays [ Build.phase "P" nest ]
+
+let codes findings =
+  List.sort_uniq String.compare (List.map (fun (d : Diag.t) -> d.Diag.code) findings)
+
+let has code findings = List.mem code (codes findings)
+
+let check_has ?(racecheck = true) code p =
+  let findings = Lint.check ~racecheck p in
+  Alcotest.(check bool)
+    (code ^ " fires")
+    true (has code findings);
+  findings
+
+let severity_of code findings =
+  (List.find (fun (d : Diag.t) -> d.Diag.code = code) findings).Diag.severity
+
+(* ------------------------------------------------------------------ *)
+(* One crafted program per code *)
+
+let test_multi_parallel () =
+  let p =
+    prog
+      ~arrays:[ Build.array "A" [ v "N"; v "N" ] ]
+      Build.(
+        doall "r" ~lo:(int 0) ~hi:(v "N" - int 1)
+          [
+            doall "c" ~lo:(int 0) ~hi:(v "N" - int 1)
+              [ assign [ write "A" [ var "r"; var "c" ] ] ];
+          ])
+  in
+  let p =
+    (* the builder cannot produce this shape; force both loops parallel *)
+    match p.Types.phases with
+    | [ ph ] ->
+        let rec force (l : Types.loop) =
+          {
+            l with
+            Types.parallel = true;
+            body =
+              List.map
+                (function
+                  | Types.Loop l -> Types.Loop (force l) | s -> s)
+                l.Types.body;
+          }
+        in
+        { p with Types.phases = [ { ph with Types.nest = force ph.Types.nest } ] }
+    | _ -> assert false
+  in
+  let f = check_has ~racecheck:false "LINT-MULTI-PARALLEL" p in
+  Alcotest.(check bool)
+    "error severity" true
+    (severity_of "LINT-MULTI-PARALLEL" f = Diag.Error)
+
+let test_undeclared_array () =
+  let p =
+    prog
+      ~arrays:[ Build.array "A" [ v "N" ] ]
+      Build.(
+        doall "k" ~lo:(int 0) ~hi:(v "N" - int 1)
+          [ assign [ read "A" [ var "k" ]; write "B" [ var "k" ] ] ])
+  in
+  ignore (check_has ~racecheck:false "LINT-UNDECLARED-ARRAY" p)
+
+let test_rank_mismatch () =
+  let p =
+    prog
+      ~arrays:[ Build.array "A" [ v "N"; v "N" ] ]
+      Build.(
+        doall "k" ~lo:(int 0) ~hi:(v "N" - int 1)
+          [ assign [ write "A" [ var "k" ] ] ])
+  in
+  let f = check_has ~racecheck:false "LINT-SUBSCRIPT" p in
+  Alcotest.(check bool)
+    "rank mismatch is an error" true
+    (severity_of "LINT-SUBSCRIPT" f = Diag.Error)
+
+let test_nonaffine_subscript () =
+  let p =
+    prog
+      ~arrays:[ Build.array "A" [ Expr.mul (v "N") (v "N") ] ]
+      Build.(
+        do_ "k" ~lo:(int 0) ~hi:(v "N" - int 1)
+          [ assign [ write "A" [ var "k" * var "k" ] ] ])
+  in
+  let f = check_has ~racecheck:false "LINT-SUBSCRIPT" p in
+  Alcotest.(check bool)
+    "non-affine is a warning" true
+    (severity_of "LINT-SUBSCRIPT" f = Diag.Warning)
+
+let test_unbound_param () =
+  let p =
+    prog
+      ~arrays:[ Build.array "A" [ v "N" ] ]
+      Build.(
+        do_ "k" ~lo:(int 0) ~hi:(v "M" - int 1)
+          [ assign [ write "A" [ var "k" ] ] ])
+  in
+  ignore (check_has ~racecheck:false "LINT-UNBOUND-PARAM" p)
+
+let test_nonnormal () =
+  let p =
+    prog
+      ~arrays:[ Build.array "A" [ v "N" ] ]
+      Build.(
+        do_ "k" ~lo:(int 1) ~hi:(v "N" - int 1)
+          [ assign [ write "A" [ var "k" ] ] ])
+  in
+  let f = check_has ~racecheck:false "LINT-NONNORMAL" p in
+  Alcotest.(check bool)
+    "info severity" true
+    (severity_of "LINT-NONNORMAL" f = Diag.Info)
+
+let test_bounds () =
+  let p =
+    prog
+      ~arrays:[ Build.array "A" [ v "N" ] ]
+      Build.(
+        do_ "k" ~lo:(int 0) ~hi:(v "N" - int 1)
+          [ assign [ write "A" [ var "k" + var "N" ] ] ])
+  in
+  ignore (check_has ~racecheck:false "LINT-BOUNDS" p)
+
+let test_dead_write () =
+  let p =
+    prog
+      ~arrays:[ Build.array "A" [ v "N" ]; Build.array "B" [ v "N" ] ]
+      Build.(
+        do_ "k" ~lo:(int 0) ~hi:(v "N" - int 1)
+          [ assign [ read "A" [ var "k" ]; write "B" [ var "k" ] ] ])
+  in
+  let f = check_has ~racecheck:false "LINT-DEAD-WRITE" p in
+  Alcotest.(check bool)
+    "names the array" true
+    (List.exists
+       (fun (d : Diag.t) ->
+         d.Diag.code = "LINT-DEAD-WRITE" && d.Diag.where = Some "B")
+       f)
+
+let test_race () =
+  (* declared parallel, but every iteration writes A(0) *)
+  let p =
+    prog
+      ~arrays:[ Build.array "A" [ v "N" ] ]
+      Build.(
+        doall "k" ~lo:(int 0) ~hi:(v "N" - int 1)
+          [ assign [ write "A" [ int 0 ] ] ])
+  in
+  let f = check_has "LINT-RACE" p in
+  Alcotest.(check bool)
+    "error severity" true
+    (severity_of "LINT-RACE" f = Diag.Error)
+
+let test_uncertified () =
+  (* k*k is injective on 0..N-1, so sampling finds no conflict, but the
+     descriptor degrades to the whole array: statically undecidable *)
+  let p =
+    prog
+      ~arrays:[ Build.array "A" [ Expr.mul (v "N") (v "N") ] ]
+      Build.(
+        doall "k" ~lo:(int 0) ~hi:(v "N" - int 1)
+          [ assign [ write "A" [ var "k" * var "k" ] ] ])
+  in
+  let f = check_has "LINT-UNCERTIFIED" p in
+  Alcotest.(check bool)
+    "info severity" true
+    (severity_of "LINT-UNCERTIFIED" f = Diag.Info)
+
+let test_catalog_covered () =
+  (* every cataloged code has a negative test in this file *)
+  let tested =
+    [
+      "LINT-MULTI-PARALLEL";
+      "LINT-UNDECLARED-ARRAY";
+      "LINT-SUBSCRIPT";
+      "LINT-UNBOUND-PARAM";
+      "LINT-NONNORMAL";
+      "LINT-BOUNDS";
+      "LINT-DEAD-WRITE";
+      "LINT-RACE";
+      "LINT-UNCERTIFIED";
+    ]
+  in
+  List.iter
+    (fun (code, _, _) ->
+      Alcotest.(check bool) (code ^ " has a test") true (List.mem code tested))
+    Lint.catalog
+
+(* ------------------------------------------------------------------ *)
+(* Golden expected-code sets over the registry *)
+
+let golden =
+  [
+    ("tfft2", [ "LINT-NONNORMAL"; "LINT-SUBSCRIPT"; "LINT-UNCERTIFIED" ]);
+    ("jacobi2d", [ "LINT-NONNORMAL" ]);
+    ("swim", [ "LINT-NONNORMAL" ]);
+    ("tomcatv", [ "LINT-NONNORMAL" ]);
+    ("matmul", []);
+    ("adi", [ "LINT-NONNORMAL"; "LINT-UNCERTIFIED" ]);
+    ("redblack", [ "LINT-NONNORMAL" ]);
+    ("trisolve", []);
+    ("mgrid", [ "LINT-NONNORMAL" ]);
+  ]
+
+let test_registry_golden () =
+  Alcotest.(check (list string))
+    "golden covers the whole registry" Codes.Registry.names
+    (List.map fst golden);
+  List.iter
+    (fun (name, expected) ->
+      let e = Codes.Registry.find name in
+      Alcotest.(check (list string))
+        (name ^ " lint codes")
+        expected
+        (codes (Lint.check e.program)))
+    golden
+
+let test_registry_no_errors () =
+  (* the property the CI lint job enforces: benchmarks never produce
+     error-severity findings *)
+  List.iter
+    (fun (e : Codes.Registry.entry) ->
+      List.iter
+        (fun (d : Diag.t) ->
+          if d.Diag.severity = Diag.Error then
+            Alcotest.failf "%s: unexpected lint error %s (%s)" e.name
+              d.Diag.code d.Diag.message)
+        (Lint.check e.program))
+    Codes.Registry.all
+
+(* Every shipped surface-language sample lints without errors. *)
+let sample_dir () =
+  let rec up dir =
+    let candidate = Filename.concat dir "examples/programs" in
+    if Sys.file_exists candidate then candidate
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then failwith "examples/programs not found"
+      else up parent
+  in
+  up (Sys.getcwd ())
+
+let test_samples_no_errors () =
+  let dir = sample_dir () in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".dsm")
+    |> List.sort String.compare
+  in
+  Alcotest.(check bool) "found samples" true (files <> []);
+  List.iter
+    (fun f ->
+      let p = Frontend.Parse.program_file (Filename.concat dir f) in
+      List.iter
+        (fun (d : Diag.t) ->
+          if d.Diag.severity = Diag.Error then
+            Alcotest.failf "%s: unexpected lint error %s (%s)" f d.Diag.code
+              d.Diag.message)
+        (Lint.check p))
+    files
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline and autopar wiring *)
+
+let test_pipeline_records_lint () =
+  let p =
+    prog
+      ~arrays:[ Build.array "A" [ v "N" ] ]
+      Build.(
+        do_ "k" ~lo:(int 1) ~hi:(v "N" - int 1)
+          [ assign [ write "A" [ var "k" ] ] ])
+  in
+  let t = Core.Pipeline.run p ~env:(Env.of_list [ ("N", 16) ]) ~h:4 in
+  Alcotest.(check bool)
+    "LINT-NONNORMAL in pipeline diagnostics" true
+    (List.exists
+       (fun (d : Diag.t) -> d.Diag.code = "LINT-NONNORMAL")
+       (Core.Pipeline.diagnostics t))
+
+let test_pipeline_strict_refuses () =
+  let p =
+    prog
+      ~arrays:[ Build.array "A" [ v "N" ] ]
+      Build.(
+        doall "k" ~lo:(int 0) ~hi:(v "N" - int 1)
+          [ assign [ write "A" [ int 0 ] ] ])
+  in
+  let env = Env.of_list [ ("N", 16) ] in
+  (match Core.Pipeline.run ~strict:true p ~env ~h:4 with
+  | _ -> Alcotest.fail "strict run accepted a racy program"
+  | exception Lint.Failed findings ->
+      Alcotest.(check bool) "carries LINT-RACE" true (has "LINT-RACE" findings));
+  (* non-strict: the same program still analyzes (degraded) *)
+  let t = Core.Pipeline.run p ~env ~h:4 in
+  Alcotest.(check bool) "degraded, not crashed" true (Core.Pipeline.degraded t)
+
+let test_autopar_no_mismatch_diags () =
+  List.iter
+    (fun (e : Codes.Registry.entry) ->
+      let c = Diag.collector () in
+      let marked = Lint.autopar ~diags:c e.program in
+      Alcotest.(check int)
+        (e.name ^ ": no RACE-ORACLE-MISMATCH")
+        0 (Diag.count c);
+      Alcotest.(check int)
+        (e.name ^ ": phase count preserved (modulo reduction splits)")
+        (List.length (Autopar.recognize_reductions e.program).Types.phases)
+        (List.length marked.Types.phases))
+    Codes.Registry.all
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "catalog",
+        [
+          Alcotest.test_case "multi-parallel" `Quick test_multi_parallel;
+          Alcotest.test_case "undeclared array" `Quick test_undeclared_array;
+          Alcotest.test_case "rank mismatch" `Quick test_rank_mismatch;
+          Alcotest.test_case "non-affine subscript" `Quick
+            test_nonaffine_subscript;
+          Alcotest.test_case "unbound param" `Quick test_unbound_param;
+          Alcotest.test_case "non-normalized loop" `Quick test_nonnormal;
+          Alcotest.test_case "out of bounds" `Quick test_bounds;
+          Alcotest.test_case "dead write" `Quick test_dead_write;
+          Alcotest.test_case "race" `Quick test_race;
+          Alcotest.test_case "uncertified" `Quick test_uncertified;
+          Alcotest.test_case "catalog covered" `Quick test_catalog_covered;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "registry code sets" `Quick test_registry_golden;
+          Alcotest.test_case "registry has no errors" `Quick
+            test_registry_no_errors;
+          Alcotest.test_case "samples have no errors" `Quick
+            test_samples_no_errors;
+        ] );
+      ( "wiring",
+        [
+          Alcotest.test_case "pipeline records lint" `Quick
+            test_pipeline_records_lint;
+          Alcotest.test_case "strict pipeline refuses" `Quick
+            test_pipeline_strict_refuses;
+          Alcotest.test_case "autopar mismatch-free" `Quick
+            test_autopar_no_mismatch_diags;
+        ] );
+    ]
