@@ -19,10 +19,14 @@ let sep title =
 (* ------------------------------------------------------------------ *)
 (* Shared analysis objects *)
 
+(* Everything derived from the program is lazy: forcing it at module
+   initialization would run phase analysis and probe-driven
+   simplification before [Probe.with_seed] takes effect in [main],
+   making the printed artifacts depend on the ambient seed. *)
 let fig1_prog = Codes.Tfft2.fig1_program
-let f3_ctx = Ir.Phase.analyze fig1_prog (List.hd fig1_prog.phases)
-let x_raw () = Pd.of_phase f3_ctx ~array:"X"
-let x_final = Unionize.simplify (x_raw ())
+let f3_ctx = lazy (Ir.Phase.analyze fig1_prog (List.hd fig1_prog.phases))
+let x_raw () = Pd.of_phase (Lazy.force f3_ctx) ~array:"X"
+let x_final = lazy (Unionize.simplify (x_raw ()))
 let small_env = Env.of_list [ ("p", 2); ("P", 4); ("q", 0); ("Q", 3) ]
 
 (* ------------------------------------------------------------------ *)
@@ -38,23 +42,26 @@ let fig2 () =
     "paper (1-based L): alpha = (Q, (P-2)*2^-L + 1, P*2^-L, 2^(L-1)),\n\
     \                   delta = (2P, J*2^(L-1), 2^(L-1), 1), tau = 0 and P/2\n\
      computed (0-based L after loop normalization):\n";
+  let ctx = Lazy.force f3_ctx in
   List.iter
-    (fun site -> Format.printf "  %a@." Ard.pp (Ard.of_site f3_ctx site))
-    (Ir.Phase.sites_of_array f3_ctx "X")
+    (fun site -> Format.printf "  %a@." Ard.pp (Ard.of_site ctx site))
+    (Ir.Phase.sites_of_array ctx "X")
 
 let fig3 () =
   sep "Fig. 3: PD simplification chain (a) -> (d)";
   let raw = x_raw () in
   Format.printf "(a) raw:@.%a@." Pd.pp raw;
   Format.printf "(b,c) after stride coalescing:@.%a@." Pd.pp (Coalesce.pd raw);
-  Format.printf "(d) after access descriptor union:@.%a@." Pd.pp x_final;
+  Format.printf "(d) after access descriptor union:@.%a@." Pd.pp
+    (Lazy.force x_final);
   Printf.printf "paper final: strides (2P, 1), alphas (Q, P), tau 0  [MATCH]\n"
 
 let fig4 () =
   sep "Fig. 4: IDs of X for i = 0, 1, 2 at P=4, Q=3";
   for it = 0 to 2 do
     let region =
-      Region.sorted (Region.addresses small_env x_final ~par:(Some it))
+      Region.sorted
+        (Region.addresses small_env (Lazy.force x_final) ~par:(Some it))
     in
     Printf.printf "  I(X,%d) = {%s}\n" it
       (String.concat ", " (List.map string_of_int region))
@@ -174,9 +181,9 @@ let fig7 () =
 
 let fig8 () =
   sep "Fig. 8: upper limits and memory gap (P=4, Q=3)";
-  let id = Id.of_pd x_final in
+  let id = Id.of_pd (Lazy.force x_final) in
   for it = 0 to 2 do
-    match Bounds.upper_limit f3_ctx.assume id ~i:(Expr.int it) with
+    match Bounds.upper_limit (Lazy.force f3_ctx).assume id ~i:(Expr.int it) with
     | Some e -> Printf.printf "  UL(I(X,%d)) = %d\n" it (Env.eval small_env e)
     | None -> Printf.printf "  UL(I(X,%d)) = ?\n" it
   done;
@@ -475,6 +482,71 @@ let ablations () =
     [ ("tfft2", 6); ("jacobi2d", 6); ("swim", 6); ("mgrid", 8) ]
 
 (* ------------------------------------------------------------------ *)
+(* Per-kernel pipeline metrics: run every registry code through the
+   full pipeline + simulator from a cold metrics registry and dump the
+   timers / cache hit rates as BENCH_pipeline.json (the CI bench-smoke
+   artifact).  A kernel whose pipeline raises is recorded with its
+   error and fails the whole run. *)
+
+let bench_pipeline () =
+  sep "Pipeline metrics per registry kernel (BENCH_pipeline.json)";
+  let h = 4 in
+  let failed = ref false in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"schema\":\"bench_pipeline/1\",\"h\":%d,\"kernels\":{" h);
+  Printf.printf "%-10s %10s %10s %9s  %s\n" "kernel" "wall ms" "env.eval"
+    "degraded" "error";
+  List.iteri
+    (fun i (e : Codes.Registry.entry) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Metrics.reset ();
+      Metrics.clear_caches ();
+      let size = min e.default_size 6 in
+      let env = e.env_of_size size in
+      let t0 = Metrics.now () in
+      let outcome =
+        try
+          let t = Core.Pipeline.run e.program ~env ~h in
+          (try ignore (Core.Pipeline.simulate t)
+           with ex when Core.Pipeline.recoverable ex -> ());
+          Ok (Core.Pipeline.degraded t)
+        with ex -> Error (Printexc.to_string ex)
+      in
+      let wall = Metrics.now () -. t0 in
+      let snap = Metrics.snapshot () in
+      let degraded, error =
+        match outcome with Ok d -> (d, None) | Error m -> (false, Some m)
+      in
+      if error <> None then failed := true;
+      let eval_rate = Metrics.hit_rate (Metrics.cache "env.eval") in
+      Printf.printf "%-10s %10.1f %9.1f%% %9b  %s\n%!" e.name (1000. *. wall)
+        (100. *. eval_rate) degraded
+        (Option.value error ~default:"-");
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\"%s\":{\"size\":%d,\"wall_seconds\":%s,\"degraded\":%b,\"error\":%s,\"metrics\":%s}"
+           (Metrics.json_escape e.name)
+           size
+           (Metrics.json_float wall)
+           degraded
+           (match error with
+           | None -> "null"
+           | Some m -> "\"" ^ Metrics.json_escape m ^ "\"")
+           (Metrics.to_json snap)))
+    Codes.Registry.all;
+  Buffer.add_string buf "}}\n";
+  let oc = open_out "BENCH_pipeline.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "wrote BENCH_pipeline.json (%d kernels)\n"
+    (List.length Codes.Registry.all);
+  if !failed then begin
+    Printf.eprintf "bench_pipeline: at least one kernel pipeline errored\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing: one Test per table/figure *)
 
 let bechamel () =
@@ -482,19 +554,21 @@ let bechamel () =
   let open Toolkit in
   let t name f = Test.make ~name (Staged.stage f) in
   let env44 = Codes.Tfft2.env ~p:4 ~q:4 in
+  let ctx = Lazy.force f3_ctx in
+  let xf = Lazy.force x_final in
   let tests =
     Test.make_grouped ~name:"paper-artifacts"
       [
         t "fig2-ards" (fun () ->
-            List.map (Ard.of_site f3_ctx) (Ir.Phase.sites_of_array f3_ctx "X"));
+            List.map (Ard.of_site ctx) (Ir.Phase.sites_of_array ctx "X"));
         t "fig3-simplify" (fun () -> Unionize.simplify (x_raw ()));
         t "fig4-id-expand" (fun () ->
-            Region.addresses small_env x_final ~par:(Some 1));
-        t "fig5-symmetry" (fun () -> Symmetry.analyze (Id.of_pd x_final));
+            Region.addresses small_env xf ~par:(Some 1));
+        t "fig5-symmetry" (fun () -> Symmetry.analyze (Id.of_pd xf));
         t "fig6-lcg-build" (fun () ->
             Lcg.build Codes.Tfft2.program ~env:env44 ~h:4);
         t "fig8-bounds" (fun () ->
-            Bounds.upper_limit f3_ctx.assume (Id.of_pd x_final) ~i:Expr.one);
+            Bounds.upper_limit ctx.assume (Id.of_pd xf) ~i:Expr.one);
         t "fig9-balance" (fun () ->
             let lcg = Lazy.force lcg_44 in
             let gx =
@@ -560,5 +634,6 @@ let () =
       scalability ();
       stability ();
       validation ();
+      bench_pipeline ();
       let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
       if not quick then bechamel ())

@@ -72,6 +72,37 @@ let retries_arg =
   let doc = "Bounded resend budget per faulted message (default 0)." in
   Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
 
+let profile_arg =
+  let doc =
+    "Print the metrics registry (pipeline stage timers, kernel counters, \
+     cache hit rates) as a table on stderr when the command exits."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let profile_json_arg =
+  let doc = "Write the metrics registry as JSON to $(docv) on exit." in
+  Arg.(
+    value & opt (some string) None & info [ "profile-json" ] ~docv:"FILE" ~doc)
+
+(* Emission happens in [at_exit] because the exit-code contract above
+   leaves commands through [exit] at many points (degraded runs exit 2
+   from [finish]); the profile must still be written on those paths. *)
+let install_profile profile json_file =
+  if profile || json_file <> None then
+    at_exit (fun () ->
+        let snap = Core.Metrics.snapshot () in
+        if profile then
+          Format.eprintf "%a@?" Core.Metrics.pp_table snap;
+        match json_file with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Core.Metrics.to_json snap);
+            output_char oc '\n';
+            close_out oc)
+
+let profile_term = Term.(const install_profile $ profile_arg $ profile_json_arg)
+
 let with_entry name size f =
   match Codes.Registry.find name with
   | entry ->
@@ -140,7 +171,7 @@ let list_cmd =
     Term.(const f $ const ())
 
 let analyze_cmd =
-  let f name size h strict max_errors =
+  let f () name size h strict max_errors =
     with_entry name size (fun entry env ->
         let t = run_pipeline ~strict ?max_errors entry env h in
         Format.printf "%a@." Core.Pipeline.report t;
@@ -148,19 +179,21 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Full pipeline report: LCG, model, solution, plan.")
-    Term.(const f $ code_arg $ size_arg $ procs_arg $ strict_arg $ max_errors_arg)
+    Term.(
+      const f $ profile_term $ code_arg $ size_arg $ procs_arg $ strict_arg
+      $ max_errors_arg)
 
 let lcg_cmd =
-  let f name size h =
+  let f () name size h =
     with_entry name size (fun entry env ->
         let lcg = Locality.Lcg.build entry.program ~env ~h in
         Format.printf "%a@." Locality.Lcg.pp lcg)
   in
   Cmd.v (Cmd.info "lcg" ~doc:"Print the Locality-Communication Graph.")
-    Term.(const f $ code_arg $ size_arg $ procs_arg)
+    Term.(const f $ profile_term $ code_arg $ size_arg $ procs_arg)
 
 let solve_cmd =
-  let f name size h strict max_errors =
+  let f () name size h strict max_errors =
     with_entry name size (fun entry env ->
         let t = run_pipeline ~strict ?max_errors entry env h in
         Format.printf "%a@.@." Ilp.Model.pp t.model;
@@ -172,10 +205,12 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Print the Table-2 constraint model and the solved distribution.")
-    Term.(const f $ code_arg $ size_arg $ procs_arg $ strict_arg $ max_errors_arg)
+    Term.(
+      const f $ profile_term $ code_arg $ size_arg $ procs_arg $ strict_arg
+      $ max_errors_arg)
 
 let simulate_cmd =
-  let f name size h baseline strict max_errors faults retries =
+  let f () name size h baseline strict max_errors faults retries =
     with_entry name size (fun entry env ->
         let t = run_pipeline ~strict ?max_errors entry env h in
         let r =
@@ -189,11 +224,11 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Replay the code on the DSM machine model.")
     Term.(
-      const f $ code_arg $ size_arg $ procs_arg $ baseline_arg $ strict_arg
-      $ max_errors_arg $ faults_arg $ retries_arg)
+      const f $ profile_term $ code_arg $ size_arg $ procs_arg $ baseline_arg
+      $ strict_arg $ max_errors_arg $ faults_arg $ retries_arg)
 
 let sweep_cmd =
-  let f name size =
+  let f () name size =
     with_entry name size (fun entry env ->
         Printf.printf "%4s %12s %12s\n" "H" "LCG eff" "BLOCK eff";
         List.iter
@@ -206,7 +241,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Efficiency sweep over processor counts.")
-    Term.(const f $ code_arg $ size_arg)
+    Term.(const f $ profile_term $ code_arg $ size_arg)
 
 let table1_cmd =
   let f () = Format.printf "%a" Locality.Table1.pp_grid () in
@@ -227,7 +262,7 @@ let stability_cmd =
     Term.(const f $ code_arg)
 
 let validate_cmd =
-  let f name size h strict max_errors faults retries =
+  let f () name size h strict max_errors faults retries =
     with_entry name size (fun entry env ->
         let t = run_pipeline ~strict ?max_errors entry env h in
         fatal_guard t @@ fun () ->
@@ -259,11 +294,11 @@ let validate_cmd =
          "Replay with versioned memory: certify every read is fresh \
           (optionally under injected message faults).")
     Term.(
-      const f $ code_arg $ size_arg $ procs_arg $ strict_arg $ max_errors_arg
-      $ faults_arg $ retries_arg)
+      const f $ profile_term $ code_arg $ size_arg $ procs_arg $ strict_arg
+      $ max_errors_arg $ faults_arg $ retries_arg)
 
 let report_cmd =
-  let f name size h strict max_errors =
+  let f () name size h strict max_errors =
     with_entry name size (fun entry env ->
         let t = run_pipeline ~strict ?max_errors entry env h in
         print_string (fatal_guard t (fun () -> Core.Report.markdown t));
@@ -271,7 +306,9 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Full markdown analysis report.")
-    Term.(const f $ code_arg $ size_arg $ procs_arg $ strict_arg $ max_errors_arg)
+    Term.(
+      const f $ profile_term $ code_arg $ size_arg $ procs_arg $ strict_arg
+      $ max_errors_arg)
 
 let spmd_cmd =
   let f name size h =
@@ -334,7 +371,7 @@ let file_cmd =
     in
     Arg.(value & flag & info [ "autopar" ] ~doc)
   in
-  let f path h bindings autopar strict max_errors =
+  let f () path h bindings autopar strict max_errors =
     match Frontend.Parse.program_file path with
     | exception Frontend.Parse.Error { line; message } ->
         Printf.eprintf "%s:%d: %s\n" path line message;
@@ -402,8 +439,8 @@ let file_cmd =
     (Cmd.info "file"
        ~doc:"Parse a surface-language program and run the full pipeline on it.")
     Term.(
-      const f $ path_arg $ procs_arg $ env_arg $ autopar_arg $ strict_arg
-      $ max_errors_arg)
+      const f $ profile_term $ path_arg $ procs_arg $ env_arg $ autopar_arg
+      $ strict_arg $ max_errors_arg)
 
 let lint_cmd =
   let targets_arg =

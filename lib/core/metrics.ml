@@ -1,0 +1,9 @@
+(** Pipeline-level entry point to the process-wide metrics registry.
+
+    The registry itself lives at the bottom of the dependency stack
+    ({!Symbolic.Metrics}) so the symbolic/descriptor hot kernels can
+    report into it; this module re-exports it under [Core] for the
+    drivers (CLI [--profile], bench) that consume whole-pipeline
+    snapshots.  See DESIGN.md section 12. *)
+
+include Symbolic.Metrics

@@ -37,7 +37,15 @@ let guard ~strict ~diags ~stage ~code ~fallback f =
       "stage failed (%s); using conservative fallback" (describe e);
     fallback ()
 
+let run_timer = Metrics.timer "pipeline.run"
+let lint_timer = Metrics.timer "pipeline.lint"
+let lcg_timer = Metrics.timer "pipeline.lcg"
+let model_timer = Metrics.timer "pipeline.model"
+let solve_timer = Metrics.timer "pipeline.solve"
+let plan_timer = Metrics.timer "pipeline.plan"
+
 let run ?machine ?(strict = false) ?(lint = true) ?diags prog ~env ~h =
+  Metrics.with_timer run_timer @@ fun () ->
   let diags = match diags with Some d -> d | None -> Diag.collector () in
   let machine =
     match machine with Some m -> m | None -> Ilp.Cost.default_machine ~h
@@ -46,13 +54,14 @@ let run ?machine ?(strict = false) ?(lint = true) ?diags prog ~env ~h =
      descriptor machinery can trip over it.  Under [strict] a program
      with Error-severity findings is refused outright. *)
   if lint then begin
-    let findings = Lint.check ~diags prog in
+    let findings = Metrics.with_timer lint_timer (fun () -> Lint.check ~diags prog) in
     if
       strict
       && List.exists (fun (f : Diag.t) -> f.Diag.severity = Diag.Error) findings
     then raise (Lint.Failed findings)
   end;
   let lcg =
+    Metrics.with_timer lcg_timer @@ fun () ->
     guard ~strict ~diags ~stage:Diag.Lcg ~code:"LCG-FAIL"
       ~fallback:(fun () -> { Locality.Lcg.prog; env; h; graphs = [] })
       (fun () -> Locality.Lcg.build prog ~env ~h)
@@ -77,6 +86,7 @@ let run ?machine ?(strict = false) ?(lint = true) ?diags prog ~env ~h =
         g.Locality.Lcg.nodes)
     lcg.graphs;
   let model =
+    Metrics.with_timer model_timer @@ fun () ->
     guard ~strict ~diags ~stage:Diag.Model ~code:"MODEL-FAIL"
       ~fallback:(fun () ->
         { Ilp.Model.lcg;
@@ -89,6 +99,7 @@ let run ?machine ?(strict = false) ?(lint = true) ?diags prog ~env ~h =
   in
   let solve_failed = ref false in
   let solution =
+    Metrics.with_timer solve_timer @@ fun () ->
     guard ~strict ~diags ~stage:Diag.Solve ~code:"SOLVE-FAIL"
       ~fallback:(fun () ->
         solve_failed := true;
@@ -106,6 +117,7 @@ let run ?machine ?(strict = false) ?(lint = true) ?diags prog ~env ~h =
       ~code:"SOLVE-BROKEN" "%d locality row(s) violated (priced as extra C)"
       (List.length solution.broken);
   let plan =
+    Metrics.with_timer plan_timer @@ fun () ->
     if !solve_failed then Ilp.Distribution.block_plan lcg
     else
       guard ~strict ~diags ~stage:Diag.Plan ~code:"PLAN-FAIL"

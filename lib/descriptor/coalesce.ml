@@ -192,4 +192,8 @@ let group (ctx : Ir.Phase.t) (g : Pd.group) : Pd.group =
   in
   fixpoint g
 
-let pd (t : Pd.t) : Pd.t = { t with groups = List.map (group t.ctx) t.groups }
+let pd_timer = Metrics.timer "descriptor.coalesce"
+
+let pd (t : Pd.t) : Pd.t =
+  Metrics.with_timer pd_timer (fun () ->
+      { t with groups = List.map (group t.ctx) t.groups })

@@ -46,12 +46,39 @@ let group_addresses env g ~par =
   List.iter (fun r -> row_addresses env g r ~par acc) g.Pd.rows;
   acc
 
-let addresses env (t : Pd.t) ~par =
+let addresses_raw env (t : Pd.t) ~par =
   let acc = Hashtbl.create 256 in
   List.iter
     (fun (g : Pd.group) -> List.iter (fun r -> row_addresses env g r ~par acc) g.rows)
     t.groups;
   acc
+
+(* Whole-descriptor enumeration is re-requested with identical arguments
+   by the halo computation, the ILP word counts and the simulator's
+   sizing; keyed on the environment identity (never its bindings - see
+   DESIGN.md section 12) the second and later calls are table lookups.
+   Callers receive the cached table itself and must not mutate it. *)
+let memo : (int * Pd.t * int option, (int, unit) Hashtbl.t) Hashtbl.t =
+  Hashtbl.create 64
+
+let memo_stats = Metrics.cache "region.addresses"
+let addresses_timer = Metrics.timer "region.enumerate"
+let () = Metrics.register_clearer (fun () -> Hashtbl.reset memo)
+
+let addresses env (t : Pd.t) ~par =
+  let key = (Env.id env, t, par) in
+  match Hashtbl.find_opt memo key with
+  | Some tbl ->
+      Metrics.hit memo_stats;
+      tbl
+  | None ->
+      Metrics.miss memo_stats;
+      if Hashtbl.length memo > 4_096 then Hashtbl.reset memo;
+      let tbl =
+        Metrics.with_timer addresses_timer (fun () -> addresses_raw env t ~par)
+      in
+      Hashtbl.add memo key tbl;
+      tbl
 
 let sorted tbl =
   Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare

@@ -21,6 +21,8 @@ val row_addresses :
 val group_addresses : Env.t -> Pd.group -> par:int option -> (int, unit) Hashtbl.t
 
 val addresses : Env.t -> Pd.t -> par:int option -> (int, unit) Hashtbl.t
-(** Union over all groups and rows. *)
+(** Union over all groups and rows.  Results are memoized per
+    ([Env.id], descriptor, [par]) triple, and the cached table itself is
+    returned: treat it as read-only. *)
 
 val sorted : (int, unit) Hashtbl.t -> int list

@@ -117,7 +117,11 @@ let union_group asm (g : Pd.group) : Pd.group =
 let rows (t : Pd.t) : Pd.t =
   { t with groups = List.map (union_group t.ctx.assume) t.groups }
 
-let simplify (t : Pd.t) : Pd.t = Coalesce.pd (rows (Coalesce.pd t))
+let simplify_timer = Metrics.timer "descriptor.unionize"
+
+let simplify (t : Pd.t) : Pd.t =
+  Metrics.with_timer simplify_timer (fun () ->
+      Coalesce.pd (rows (Coalesce.pd t)))
 
 (* Extend row [a] along the parallel dimension to absorb row [b]
    starting where [a]'s sweep ends (or overlapping it).  Sound only for

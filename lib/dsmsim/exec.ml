@@ -65,8 +65,15 @@ let retry_cost (m : Cost.machine) (r : Fault.retry) =
   in
   go 1 0.0
 
+let exec_timer = Symbolic.Metrics.timer "dsmsim.exec"
+let msg_count = Symbolic.Metrics.counter "exec.messages"
+let word_count = Symbolic.Metrics.counter "exec.words"
+let local_count = Symbolic.Metrics.counter "exec.local"
+let remote_count = Symbolic.Metrics.counter "exec.remote"
+
 let run ?(rounds = 1) ?on_error ?faults ?(retries = 0) (lcg : Lcg.t)
     (plan : Distribution.plan) (m : Cost.machine) : run =
+  Symbolic.Metrics.with_timer exec_timer @@ fun () ->
   let h = plan.h in
   let sizes = Hashtbl.create 8 in
   let size_of array =
@@ -107,6 +114,8 @@ let run ?(rounds = 1) ?on_error ?faults ?(retries = 0) (lcg : Lcg.t)
     let msgs = Array.make h 0 in
     List.iter
       (fun (msg : Comm.message) ->
+        Symbolic.Metrics.incr msg_count;
+        Symbolic.Metrics.incr word_count ~by:msg.words;
         sends.(msg.src) <- sends.(msg.src) + msg.words;
         recvs.(msg.dst) <- recvs.(msg.dst) + msg.words;
         msgs.(msg.src) <- msgs.(msg.src) + 1)
@@ -244,6 +253,8 @@ let run ?(rounds = 1) ?on_error ?faults ?(retries = 0) (lcg : Lcg.t)
         :: !phases)
     lcg.prog.phases
   done;
+  Symbolic.Metrics.incr local_count ~by:!total_local;
+  Symbolic.Metrics.incr remote_count ~by:!total_remote;
   let par = !par_time in
   let seq = !seq_time in
   {

@@ -49,7 +49,10 @@ let eval_affine (a : affine) t =
   let v = (a.num * t) + a.off in
   if v mod a.den <> 0 then None else Some (v / a.den)
 
+let solve_timer = Symbolic.Metrics.timer "ilp.solve"
+
 let solve (model : Model.t) (m : Cost.machine) : result =
+  Symbolic.Metrics.with_timer solve_timer @@ fun () ->
   let lcg = model.lcg in
   let n = model.n_phases in
   let bound = Array.make n 1 in

@@ -16,7 +16,15 @@ type t = {
 
 exception Invalid_phase of string
 
-let analyze (prog : program) (ph : phase) : t =
+(* Phase analysis is a pure function of the program and phase syntax
+   (no environment, no probe stream), so results are cached on the
+   structural pair.  The LCG builder re-analyzes every phase for every
+   array of the program; with the cache each phase is walked once. *)
+let cache : (program * phase, t) Hashtbl.t = Hashtbl.create 64
+let cache_stats = Symbolic.Metrics.cache "phase.analyze"
+let () = Symbolic.Metrics.register_clearer (fun () -> Hashtbl.reset cache)
+
+let analyze_raw (prog : program) (ph : phase) : t =
   let ph = Normalize.phase ph in
   let loops = ref [] in
   let sites = ref [] in
@@ -51,6 +59,19 @@ let analyze (prog : program) (ph : phase) : t =
       prog.params loops
   in
   { prog; phase = ph; loops; par; sites; assume }
+
+let analyze (prog : program) (ph : phase) : t =
+  let key = (prog, ph) in
+  match Hashtbl.find_opt cache key with
+  | Some t ->
+      Symbolic.Metrics.hit cache_stats;
+      t
+  | None ->
+      Symbolic.Metrics.miss cache_stats;
+      if Hashtbl.length cache > 512 then Hashtbl.reset cache;
+      let t = analyze_raw prog ph in
+      Hashtbl.add cache key t;
+      t
 
 let sites_of_array t name =
   List.filter (fun s -> String.equal s.ref_.array name) t.sites

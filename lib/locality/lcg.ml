@@ -35,7 +35,12 @@ let phase_work prog env ph =
       total := !total + work);
   !total
 
+let build_timer = Metrics.timer "lcg.build"
+let classify_timer = Metrics.timer "lcg.classify"
+let edge_count = Metrics.counter "table1.edges"
+
 let build (prog : Types.program) ~env ~h : t =
+  Metrics.with_timer build_timer @@ fun () ->
   let attrs = Liveness.attrs prog ~envs:[ env ] in
   let phase_ctxs =
     List.map (fun ph -> (ph, Phase.analyze prog ph)) prog.phases
@@ -80,7 +85,9 @@ let build (prog : Types.program) ~env ~h : t =
         let n = List.length nodes in
         let mk_edge i j back =
           let nk = List.nth nodes i and ng = List.nth nodes j in
+          Metrics.incr edge_count;
           let r =
+            Metrics.with_timer classify_timer @@ fun () ->
             Inter.label ~env ~h
               {
                 attr_k = nk.attr;

@@ -1,21 +1,53 @@
 module M = Map.Make (String)
 
-type t = int M.t
+(* Each environment carries a unique [id] (the memo-coherence key other
+   caches use: see DESIGN.md section 12) and its own expression-value
+   memo.  The memo lives *inside* the environment, so cached values can
+   never be confused between bindings and die with the environment -
+   short-lived sampled environments cost nothing globally. *)
+type t = { map : int M.t; id : int; memo : (Expr.t, Qnum.t) Hashtbl.t }
 
 exception Unbound of string
 
-let empty = M.empty
-let of_list l = List.fold_left (fun m (k, v) -> M.add k v m) M.empty l
-let add = M.add
+let next_id = ref 0
+
+let make map =
+  incr next_id;
+  { map; id = !next_id; memo = Hashtbl.create 16 }
+
+let empty = make M.empty
+let of_list l = make (List.fold_left (fun m (k, v) -> M.add k v m) M.empty l)
+let add k v t = make (M.add k v t.map)
+let id t = t.id
 
 let find env v =
-  match M.find_opt v env with Some x -> x | None -> raise (Unbound v)
-let find_opt env v = M.find_opt v env
-let mem env v = M.mem v env
-let bindings = M.bindings
+  match M.find_opt v env.map with Some x -> x | None -> raise (Unbound v)
+
+let find_opt env v = M.find_opt v env.map
+let mem env v = M.mem v env.map
+let bindings env = M.bindings env.map
 let lookup env v = Qnum.of_int (find env v)
-let eval env e = Expr.eval_int (lookup env) e
-let eval_q env e = Expr.eval (lookup env) e
+
+let eval_stats = Metrics.cache "env.eval"
+
+(* Only successful evaluations are cached; an evaluation that raises
+   (unbound variable, fractional Pow2 exponent) recomputes - those are
+   rare and the exception must propagate unchanged. *)
+let eval_q env e =
+  match Hashtbl.find_opt env.memo e with
+  | Some v ->
+      Metrics.hit eval_stats;
+      v
+  | None ->
+      Metrics.miss eval_stats;
+      let v = Expr.eval (lookup env) e in
+      Hashtbl.add env.memo e v;
+      v
+
+let eval env e =
+  let v = eval_q env e in
+  if Qnum.is_integer v then Qnum.to_int v
+  else raise (Expr.Non_integral (Format.asprintf "value %a" Qnum.pp v))
 
 let pp ppf env =
   Format.fprintf ppf "{%a}"

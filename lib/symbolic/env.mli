@@ -16,6 +16,12 @@ val find_opt : t -> string -> int option
 val mem : t -> string -> bool
 val bindings : t -> (string * int) list
 
+val id : t -> int
+(** Unique identity of this environment value, assigned at creation.
+    Caches keyed on an environment use this id (never the bindings), so
+    two environments with equal bindings still have distinct cache
+    lines - the memo-coherence argument of DESIGN.md section 12. *)
+
 val lookup : t -> string -> Qnum.t
 (** Shape expected by {!Expr.eval}. *)
 

@@ -69,11 +69,14 @@ let split_const (e : t) : int * t =
     let k = Qnum.floor c in
     if k = 0 then (0, e) else (k, add e (q (Qnum.of_int (-k))))
 
+let norm_count = Metrics.counter "expr.norm"
+
 (* Build a normalized monomial*coefficient from a raw atom^exp listing.
    All Pow2 atoms are fused: their exponents are summed (weighted by the
    integer power) and any constant part of the sum moves into the
    coefficient. *)
 let rec norm_factors (factors : (atom * int) list) (coeff : Qnum.t) : t =
+  Metrics.incr norm_count;
   let pow2_exp = ref zero in
   let others = ref [] in
   List.iter

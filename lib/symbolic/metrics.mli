@@ -1,0 +1,87 @@
+(** Process-wide metrics registry: named counters, wall-clock timers,
+    histograms and cache (memo-table) statistics.
+
+    Cells are interned by name on first use and survive {!reset} (which
+    only zeroes their numbers), so modules may safely capture handles at
+    initialization time.  Timers use the monotonic-enough
+    [Unix.gettimeofday] and are reentrancy-safe: a recursive entry is
+    counted as a call but only the outermost frame accumulates wall
+    time, so nested or recursive kernels never double-bill.
+
+    The registry deliberately has no dependencies beyond [unix] so every
+    layer of the pipeline - [Symbolic.Expr] normalization at the bottom,
+    [Core.Pipeline] stages at the top - can report into the same table.
+    [Core.Metrics] re-exports this module for pipeline-level callers. *)
+
+type counter
+type timer
+type histogram
+type cache
+
+val counter : string -> counter
+(** Intern (find or create) the counter cell of that name. *)
+
+val timer : string -> timer
+val histogram : string -> histogram
+val cache : string -> cache
+
+val incr : ?by:int -> counter -> unit
+val observe : histogram -> float -> unit
+
+val now : unit -> float
+(** [Unix.gettimeofday], exposed so drivers use the same clock. *)
+
+val with_timer : timer -> (unit -> 'a) -> 'a
+(** Run the thunk, adding its wall time to the cell.  Exceptions
+    propagate (the elapsed time is still recorded). *)
+
+val add_time : timer -> float -> unit
+(** Record one call of [s] seconds measured externally. *)
+
+val hit : cache -> unit
+val miss : cache -> unit
+val lookups : cache -> int
+val hit_rate : cache -> float
+(** Hits over total lookups; [0.0] when the cache was never consulted. *)
+
+val register_clearer : (unit -> unit) -> unit
+(** Register a memo-table flush callback; the tables themselves live
+    with their owning modules. *)
+
+val clear_caches : unit -> unit
+(** Flush every registered memo table (cold-start for benchmarks and
+    the memo-coherence property tests).  Does not touch the metric
+    numbers; pair with {!reset} for a fully fresh measurement. *)
+
+val reset : unit -> unit
+(** Zero every cell, keeping registrations. *)
+
+type snapshot = {
+  counters : (string * int) list;
+  timers : (string * (int * float)) list;  (** calls, seconds *)
+  histograms : (string * (int * float * float * float)) list;
+      (** n, sum, min, max *)
+  caches : (string * (int * int)) list;  (** hits, misses *)
+}
+
+val snapshot : unit -> snapshot
+(** Cells in creation order. *)
+
+val pp_table : Format.formatter -> snapshot -> unit
+(** Human-readable table (the [--profile] stderr output). *)
+
+val report : unit -> string
+(** [pp_table] of a fresh snapshot, as a string. *)
+
+val to_json : snapshot -> string
+(** Machine-readable snapshot:
+    [{"timers":{name:{"calls":n,"seconds":s}},
+      "caches":{name:{"hits":h,"misses":m,"hit_rate":r}},
+      "counters":{name:v}, "histograms":{...}}]. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal (exposed for
+    the drivers that compose larger JSON documents around snapshots). *)
+
+val json_float : float -> string
+(** Render a float as a JSON number ([null] for NaN/infinities). *)

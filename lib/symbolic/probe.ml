@@ -1,16 +1,22 @@
 let samples = ref 64
 let probe_state = ref (Random.State.make [| 0x5eed; 2024 |])
 
-let reset_memo_hook : (unit -> unit) ref = ref (fun () -> ())
+(* Memo tables whose contents depend on the probe stream (this module's
+   own predicate memo, Range's bound memo, ...) must flush whenever the
+   stream is re-seeded, or a cached answer from one seed would leak into
+   a run under another. *)
+let reset_hooks : (unit -> unit) list ref = ref []
+let add_reset_hook f = reset_hooks := f :: !reset_hooks
+let run_reset_hooks () = List.iter (fun f -> f ()) !reset_hooks
 
 let with_seed seed f =
   let saved = !probe_state in
   probe_state := Random.State.make [| seed |];
-  !reset_memo_hook ();
+  run_reset_hooks ();
   Fun.protect
     ~finally:(fun () ->
       probe_state := saved;
-      !reset_memo_hook ())
+      run_reset_hooks ())
     f
 
 let sample asm = Assume.sample ~state:!probe_state asm
@@ -21,22 +27,30 @@ let sample asm = Assume.sample ~state:!probe_state asm
 let memo : (int * (string * Assume.domain) list * Expr.t * Expr.t, bool) Hashtbl.t =
   Hashtbl.create 4096
 
-let () = reset_memo_hook := fun () -> Hashtbl.reset memo
+let () = add_reset_hook (fun () -> Hashtbl.reset memo)
+let () = Metrics.register_clearer (fun () -> Hashtbl.reset memo)
+let memo_stats = Metrics.cache "probe.memo"
 
 let memoized tag asm a b compute =
   let key = (tag, Assume.to_list asm, a, b) in
   match Hashtbl.find_opt memo key with
-  | Some r -> r
+  | Some r ->
+      Metrics.hit memo_stats;
+      r
   | None ->
+      Metrics.miss memo_stats;
       if Hashtbl.length memo > 200_000 then Hashtbl.reset memo;
       let r = compute () in
       Hashtbl.add memo key r;
       r
 
+let forall_count = Metrics.counter "probe.forall"
+
 (* Evaluate [f] on [!samples] sampled environments; return [Some true]
    if the predicate holds everywhere, [Some false] if it fails
    somewhere, [None] if some evaluation raised. *)
 let forall asm (f : Env.t -> bool) =
+  Metrics.incr forall_count;
   let ok = ref true in
   (try
      for _ = 1 to !samples do

@@ -55,7 +55,23 @@ let bounds_of asm v =
       | _ -> None)
   | None -> None
 
-let eliminate asm dir ~over e =
+(* Bound elimination is deterministic given the probe stream, and the
+   coalescing fixpoint re-asks the same (assumptions, direction, over,
+   expr) queries many times per phase; memoize the final validated
+   answer.  The table flushes on re-seed (Probe hook) so an answer
+   never crosses seeds; the descriptor property suite pins that the
+   memoized analysis still matches the brute-force oracle. *)
+let memo :
+    (int * (string * Assume.domain) list * string list * Expr.t, Expr.t option)
+    Hashtbl.t =
+  Hashtbl.create 512
+
+let () = Probe.add_reset_hook (fun () -> Hashtbl.reset memo)
+let () = Metrics.register_clearer (fun () -> Hashtbl.reset memo)
+let memo_stats = Metrics.cache "range.bounds"
+let eliminate_timer = Metrics.timer "range.eliminate"
+
+let eliminate_raw asm dir ~over e =
   let order =
     (* Reverse declaration order, restricted to [over]. *)
     List.rev (List.filter (fun v -> List.mem v over) (Assume.vars asm))
@@ -96,6 +112,24 @@ let eliminate asm dir ~over e =
        with Expr.Non_integral _ | Env.Unbound _ | Division_by_zero | Qnum.Division_by_zero
        -> ok := false);
       if !ok then Some bound else None
+
+let eliminate asm dir ~over e =
+  let key =
+    ((match dir with Max -> 0 | Min -> 1), Assume.to_list asm, over, e)
+  in
+  match Hashtbl.find_opt memo key with
+  | Some r ->
+      Metrics.hit memo_stats;
+      r
+  | None ->
+      Metrics.miss memo_stats;
+      if Hashtbl.length memo > 100_000 then Hashtbl.reset memo;
+      let r =
+        Metrics.with_timer eliminate_timer (fun () ->
+            eliminate_raw asm dir ~over e)
+      in
+      Hashtbl.add memo key r;
+      r
 
 let maximize asm ~over e = eliminate asm Max ~over e
 let minimize asm ~over e = eliminate asm Min ~over e

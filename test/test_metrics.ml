@@ -1,0 +1,340 @@
+(* Unit tests for the Core.Metrics registry: interning, counters,
+   reentrancy-safe timers, cache statistics, reset semantics, and the
+   hand-rolled JSON emitter (validated by a small recursive-descent
+   JSON syntax checker, since the project deliberately has no JSON
+   dependency). *)
+
+module M = Core.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* A minimal RFC 8259 syntax checker. *)
+
+let json_valid (s : string) : bool =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail () = raise Exit in
+  let peek () = if !pos >= n then fail () else s.[!pos] in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    then begin
+      advance ();
+      skip_ws ()
+    end
+  in
+  let expect c = if peek () <> c then fail () else advance () in
+  let digits () =
+    let k = ref 0 in
+    while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+      advance ();
+      incr k
+    done;
+    if !k = 0 then fail ()
+  in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> advance ()
+          | 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> advance ()
+                | _ -> fail ()
+              done
+          | _ -> fail ());
+          go ()
+      | c when Char.code c < 0x20 -> fail ()
+      | _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' -> obj ()
+    | '[' -> arr ()
+    | '"' -> string_lit ()
+    | 't' -> String.iter expect "true"
+    | 'f' -> String.iter expect "false"
+    | 'n' -> String.iter expect "null"
+    | '-' | '0' .. '9' ->
+        if peek () = '-' then advance ();
+        (* leading zeros are forbidden: int part is 0 or [1-9][0-9]* *)
+        (match peek () with
+        | '0' -> (
+            advance ();
+            match if !pos < n then Some s.[!pos] else None with
+            | Some '0' .. '9' -> fail ()
+            | _ -> ())
+        | '1' .. '9' -> digits ()
+        | _ -> fail ());
+        if !pos < n && s.[!pos] = '.' then begin
+          advance ();
+          digits ()
+        end;
+        if !pos < n && (s.[!pos] = 'e' || s.[!pos] = 'E') then begin
+          advance ();
+          if !pos < n && (s.[!pos] = '+' || s.[!pos] = '-') then advance ();
+          digits ()
+        end
+    | _ -> fail ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = '}' then advance ()
+    else
+      let rec members () =
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | ',' ->
+            advance ();
+            members ()
+        | '}' -> advance ()
+        | _ -> fail ()
+      in
+      members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = ']' then advance ()
+    else
+      let rec elems () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | ',' ->
+            advance ();
+            elems ()
+        | ']' -> advance ()
+        | _ -> fail ()
+      in
+      elems ()
+  in
+  try
+    value ();
+    skip_ws ();
+    !pos = n
+  with Exit -> false
+
+let test_json_checker () =
+  List.iter
+    (fun (ok, s) ->
+      Alcotest.(check bool) (Printf.sprintf "%S" s) ok (json_valid s))
+    [
+      (true, "{}");
+      (true, "[1, 2.5, -3e4, \"a\\nb\", null, true, [], {\"k\":false}]");
+      (true, "{\"a\":{\"b\":[0.25]}}");
+      (false, "{");
+      (false, "{\"a\":}");
+      (false, "[1,]");
+      (false, "01");
+      (false, "1.");
+      (false, "\"unterminated");
+      (false, "{} trailing");
+      (false, "nul");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Registry semantics.  Cell names are test-local ("t.*") so the suite
+   never collides with the cells the library itself registers. *)
+
+let test_interning () =
+  let a = M.counter "t.interned" in
+  let b = M.counter "t.interned" in
+  M.incr a;
+  M.incr b ~by:4;
+  let snap = M.snapshot () in
+  Alcotest.(check int) "one cell, shared count" 5
+    (List.assoc "t.interned" snap.counters)
+
+let test_kind_mismatch () =
+  ignore (M.counter "t.kinded");
+  Alcotest.check_raises "timer over counter name"
+    (Invalid_argument "Metrics: cell kind mismatch for t.kinded") (fun () ->
+      ignore (M.timer "t.kinded"))
+
+let test_timer_basic () =
+  let t = M.timer "t.timer" in
+  let r = M.with_timer t (fun () -> 41 + 1) in
+  Alcotest.(check int) "value returned" 42 r;
+  M.add_time t 0.5;
+  let snap = M.snapshot () in
+  let calls, secs = List.assoc "t.timer" snap.timers in
+  Alcotest.(check int) "two calls" 2 calls;
+  Alcotest.(check bool) "external time recorded" true (secs >= 0.5)
+
+let test_timer_reentrant () =
+  let t = M.timer "t.reentrant" in
+  (* burn measurable wall time in the inner frame only *)
+  let burn () =
+    let x = ref 0.0 in
+    for k = 1 to 2_000_000 do
+      x := !x +. float_of_int k
+    done;
+    !x
+  in
+  let t0 = M.now () in
+  let _ = M.with_timer t (fun () -> M.with_timer t burn) in
+  let elapsed = M.now () -. t0 in
+  let snap = M.snapshot () in
+  let calls, secs = List.assoc "t.reentrant" snap.timers in
+  Alcotest.(check int) "both frames counted as calls" 2 calls;
+  (* double-billing would record ~2x the elapsed wall time *)
+  Alcotest.(check bool)
+    (Printf.sprintf "no double-billing (recorded %.4fs, elapsed %.4fs)" secs
+       elapsed)
+    true
+    (secs <= (elapsed *. 1.5) +. 0.01)
+
+let test_timer_exception () =
+  let t = M.timer "t.raises" in
+  (try M.with_timer t (fun () -> failwith "boom") with Failure _ -> ());
+  let snap = M.snapshot () in
+  let calls, _ = List.assoc "t.raises" snap.timers in
+  Alcotest.(check int) "failed call still counted" 1 calls
+
+let test_cache_stats () =
+  let c = M.cache "t.cache" in
+  Alcotest.(check (float 1e-9)) "empty rate" 0.0 (M.hit_rate c);
+  M.hit c;
+  M.hit c;
+  M.hit c;
+  M.miss c;
+  Alcotest.(check int) "lookups" 4 (M.lookups c);
+  Alcotest.(check (float 1e-9)) "rate 3/4" 0.75 (M.hit_rate c)
+
+let test_histogram () =
+  let h = M.histogram "t.hist" in
+  List.iter (M.observe h) [ 4.0; 1.0; 7.0 ];
+  let snap = M.snapshot () in
+  let n, sum, min_v, max_v = List.assoc "t.hist" snap.histograms in
+  Alcotest.(check int) "n" 3 n;
+  Alcotest.(check (float 1e-9)) "sum" 12.0 sum;
+  Alcotest.(check (float 1e-9)) "min" 1.0 min_v;
+  Alcotest.(check (float 1e-9)) "max" 7.0 max_v
+
+let test_reset () =
+  let c = M.counter "t.resettable" in
+  M.incr c ~by:9;
+  M.reset ();
+  let snap = M.snapshot () in
+  Alcotest.(check int) "zeroed" 0 (List.assoc "t.resettable" snap.counters);
+  Alcotest.(check bool) "registration survives" true
+    (List.mem_assoc "t.resettable" snap.counters)
+
+let test_clearers () =
+  let tbl = Hashtbl.create 4 in
+  Hashtbl.add tbl 1 ();
+  M.register_clearer (fun () -> Hashtbl.reset tbl);
+  M.clear_caches ();
+  Alcotest.(check int) "registered table flushed" 0 (Hashtbl.length tbl)
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission *)
+
+let test_json_primitives () =
+  Alcotest.(check string) "nan" "null" (M.json_float Float.nan);
+  Alcotest.(check string) "inf" "null" (M.json_float Float.infinity);
+  Alcotest.(check string) "integral" "3" (M.json_float 3.0);
+  Alcotest.(check bool) "fraction parses" true
+    (json_valid (M.json_float 0.12345));
+  Alcotest.(check string) "escapes" "a\\\"b\\\\c\\n" (M.json_escape "a\"b\\c\n")
+
+let test_snapshot_json_valid () =
+  (* exercise one cell of every kind, then validate the whole document
+     (which also contains all the library's own cells) *)
+  M.incr (M.counter "t.json-counter");
+  M.add_time (M.timer "t.json-timer") 0.25;
+  M.observe (M.histogram "t.json-hist") 2.0;
+  M.hit (M.cache "t.json-cache");
+  let doc = M.to_json (M.snapshot ()) in
+  Alcotest.(check bool) "valid JSON" true (json_valid doc);
+  let contains needle hay =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go k = k + nn <= nh && (String.sub hay k nn = needle || go (k + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains needle doc))
+    [ "t.json-counter"; "t.json-timer"; "t.json-hist"; "t.json-cache";
+      "hit_rate" ]
+
+(* The pipeline's own instrumentation: after one run on a registry code
+   the stage timers have fired and the kernel caches have real hits -
+   the acceptance bar for the --profile surface. *)
+let test_pipeline_populates_registry () =
+  M.reset ();
+  M.clear_caches ();
+  let e = Codes.Registry.find "tfft2" in
+  let env = e.env_of_size e.default_size in
+  let t = Core.Pipeline.run e.program ~env ~h:4 in
+  ignore (Core.Pipeline.simulate t);
+  (* a second run over the same environment exercises the warm path of
+     every memo keyed on Env.id, region.addresses included *)
+  ignore (Core.Pipeline.run e.program ~env ~h:4);
+  let snap = M.snapshot () in
+  List.iter
+    (fun name ->
+      let calls, _ = List.assoc name snap.timers in
+      Alcotest.(check bool) (name ^ " fired") true (calls > 0))
+    [
+      "pipeline.run"; "pipeline.lcg"; "pipeline.model"; "pipeline.solve";
+      "pipeline.plan"; "lcg.build"; "lcg.classify"; "ilp.solve";
+      "dsmsim.exec"; "descriptor.coalesce"; "descriptor.unionize";
+    ];
+  List.iter
+    (fun name ->
+      let hits, _ = List.assoc name snap.caches in
+      Alcotest.(check bool) (name ^ " has hits") true (hits > 0))
+    [ "env.eval"; "probe.memo"; "phase.analyze"; "region.addresses" ];
+  Alcotest.(check bool) "edges classified" true
+    (List.assoc "table1.edges" snap.counters > 0);
+  Alcotest.(check bool) "messages simulated" true
+    (List.assoc "exec.messages" snap.counters > 0);
+  Alcotest.(check bool) "json valid" true (json_valid (M.to_json snap))
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "json-checker",
+        [ Alcotest.test_case "accepts/rejects" `Quick test_json_checker ] );
+      ( "registry",
+        [
+          Alcotest.test_case "interning" `Quick test_interning;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "timer basics" `Quick test_timer_basic;
+          Alcotest.test_case "timer reentrancy" `Quick test_timer_reentrant;
+          Alcotest.test_case "timer exception" `Quick test_timer_exception;
+          Alcotest.test_case "cache stats" `Quick test_cache_stats;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "clearers" `Quick test_clearers;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "primitives" `Quick test_json_primitives;
+          Alcotest.test_case "snapshot document" `Quick
+            test_snapshot_json_valid;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "instrumentation populates registry" `Quick
+            test_pipeline_populates_registry;
+        ] );
+    ]

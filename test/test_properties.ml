@@ -1,0 +1,329 @@
+(* Property layer guarding the descriptor algebra and the pipeline.
+
+   Every algebraic operation (stride coalescing, row union, full
+   simplification, offset adjustment, homogenization) is checked
+   against the brute-force enumeration oracle (Ir.Enumerate expands the
+   loop nest reference by reference), on randomly generated affine
+   nests.  Two meta-properties pin the new memoization layer: results
+   are identical cold (caches flushed) and warm, and the whole pipeline
+   is deterministic - running it twice under the same probe seed yields
+   byte-identical reports.  Finally parse/unparse is a structural
+   round trip. *)
+
+open Symbolic
+open Ir
+open Descriptor
+
+let count = 200
+
+(* ------------------------------------------------------------------ *)
+(* Generators: constant-bound affine nests (always rectangular, so the
+   descriptor expansion is defined and the oracle is exact). *)
+
+let i = Expr.int
+let v = Expr.var
+
+let gen_affine_program =
+  let open QCheck.Gen in
+  let* depth = int_range 1 3 in
+  let* bounds = list_repeat depth (int_range 2 5) in
+  let* coeffs = list_repeat depth (int_range 0 7) in
+  let* offset = int_range 0 10 in
+  let* second_ref = bool in
+  let* shift = int_range 0 9 in
+  let* with_write = bool in
+  let vars = List.mapi (fun k _ -> Printf.sprintf "v%d" k) bounds in
+  let subscript extra =
+    List.fold_left2
+      (fun acc vn c -> Expr.add acc (Expr.mul (i c) (v vn)))
+      (i (offset + extra))
+      vars coeffs
+  in
+  let refs =
+    (if second_ref then
+       [ Build.read "A" [ subscript 0 ]; Build.read "A" [ subscript shift ] ]
+     else [ Build.read "A" [ subscript 0 ] ])
+    @ if with_write then [ Build.write "A" [ subscript 0 ] ] else []
+  in
+  let body = [ Build.assign refs ] in
+  let nest =
+    List.fold_right2
+      (fun vn b inner -> [ Build.do_ vn ~lo:(i 0) ~hi:(i (b - 1)) inner ])
+      (List.tl vars) (List.tl bounds) body
+  in
+  let outer =
+    Build.doall (List.hd vars) ~lo:(i 0) ~hi:(i (List.hd bounds - 1)) nest
+  in
+  return
+    (Build.program ~name:"gen" ~params:Assume.empty
+       ~arrays:[ Build.array "A" [ i 2000 ] ]
+       [ Build.phase "G" outer ])
+
+let arb_affine =
+  QCheck.make gen_affine_program ~print:(fun p ->
+      Format.asprintf "%a" Types.pp_program p)
+
+(* Two phases over the same array with the same stride and a shifted
+   offset: the shape Unionize.homogenize is specified for. *)
+let gen_shifted_pair =
+  let open QCheck.Gen in
+  let* n = int_range 3 8 in
+  let* stride = int_range 1 4 in
+  let* steps = int_range 0 6 in
+  let shift = stride * steps in
+  let idx extra = Expr.add (Expr.mul (i stride) (v "x")) (i extra) in
+  return
+    (Build.program ~name:"pair" ~params:Assume.empty
+       ~arrays:[ Build.array "A" [ i 500 ] ]
+       [
+         Build.phase "P1"
+           (Build.doall "x" ~lo:(i 0) ~hi:(i (n - 1))
+              [ Build.assign [ Build.write "A" [ idx 0 ] ] ]);
+         Build.phase "P2"
+           (Build.doall "x" ~lo:(i 0) ~hi:(i (n - 1))
+              [ Build.assign [ Build.read "A" [ idx shift ] ] ]);
+       ])
+
+let arb_shifted_pair =
+  QCheck.make gen_shifted_pair ~print:(fun p ->
+      Format.asprintf "%a" Types.pp_program p)
+
+(* ------------------------------------------------------------------ *)
+(* Oracles *)
+
+let pd_of prog k =
+  let ph = List.nth prog.Types.phases k in
+  Pd.of_phase (Phase.analyze prog ph) ~array:"A"
+
+let expand pd ~par =
+  try Some (Region.sorted (Region.addresses Env.empty pd ~par))
+  with Region.Not_rectangular _ -> None
+
+let oracle prog k ~par =
+  let ph = List.nth prog.Types.phases k in
+  match par with
+  | None -> Region.sorted (Enumerate.address_set prog Env.empty ph ~array:"A")
+  | Some it ->
+      Enumerate.iteration_addresses prog Env.empty ph ~array:"A" ~par:it
+      |> List.map fst |> List.sort_uniq compare
+
+(* Each transform of the simplification chain must leave the denoted
+   address set - whole phase and per iteration - untouched. *)
+let preserves_region transform prog =
+  Probe.with_seed 501 (fun () ->
+      let pd = transform (pd_of prog 0) in
+      expand pd ~par:None = Some (oracle prog 0 ~par:None)
+      && expand pd ~par:(Some 0) = Some (oracle prog 0 ~par:(Some 0))
+      && expand pd ~par:(Some 1) = Some (oracle prog 0 ~par:(Some 1)))
+
+let prop_coalesce_oracle =
+  QCheck.Test.make ~name:"Coalesce.pd preserves the oracle region" ~count
+    arb_affine
+    (preserves_region Coalesce.pd)
+
+let prop_unionize_rows_oracle =
+  QCheck.Test.make ~name:"Unionize.rows preserves the oracle region" ~count
+    arb_affine
+    (preserves_region (fun pd -> Unionize.rows (Coalesce.pd pd)))
+
+let prop_simplify_oracle =
+  QCheck.Test.make ~name:"Unionize.simplify preserves the oracle region" ~count
+    arb_affine
+    (preserves_region Unionize.simplify)
+
+let prop_simplify_idempotent =
+  QCheck.Test.make ~name:"Unionize.simplify is idempotent on regions" ~count
+    arb_affine (fun prog ->
+      Probe.with_seed 502 (fun () ->
+          let once = Unionize.simplify (pd_of prog 0) in
+          let twice = Unionize.simplify once in
+          expand once ~par:None = expand twice ~par:None
+          && expand once ~par:(Some 0) = expand twice ~par:(Some 0)))
+
+let prop_min_offset_oracle =
+  QCheck.Test.make ~name:"Offset.min_offset = smallest oracle address" ~count
+    arb_affine (fun prog ->
+      Probe.with_seed 503 (fun () ->
+          let pd = Unionize.simplify (pd_of prog 0) in
+          match Offset.min_offset pd with
+          | None -> false
+          | Some e -> (
+              match oracle prog 0 ~par:None with
+              | [] -> false
+              | lo :: _ -> Env.eval Env.empty e = lo)))
+
+let prop_homogenize_union =
+  QCheck.Test.make ~name:"Unionize.homogenize denotes the union of regions"
+    ~count arb_shifted_pair (fun prog ->
+      Probe.with_seed 504 (fun () ->
+          let pd1 = Unionize.simplify (pd_of prog 0) in
+          let pd2 = Unionize.simplify (pd_of prog 1) in
+          match Unionize.homogenize pd1 pd2 with
+          | None ->
+              (* homogenization may conservatively decline; it must not
+                 decline the trivial unshifted case *)
+              oracle prog 0 ~par:None <> oracle prog 1 ~par:None
+          | Some merged -> (
+              match expand merged ~par:None with
+              | None -> false
+              | Some got ->
+                  got
+                  = List.sort_uniq compare
+                      (oracle prog 0 ~par:None @ oracle prog 1 ~par:None))))
+
+(* Offset adjustment: R = (tau - tau_min) / delta_par in parallel-stride
+   steps; re-deriving tau from R must land back on the row offset. *)
+let prop_adjust_distance =
+  QCheck.Test.make ~name:"Offset.adjust_distance inverts to the offset" ~count
+    arb_shifted_pair (fun prog ->
+      Probe.with_seed 505 (fun () ->
+          let pd1 = Unionize.simplify (pd_of prog 0) in
+          let pd2 = Unionize.simplify (pd_of prog 1) in
+          match Offset.tau_min [ pd1; pd2 ] with
+          | None -> false
+          | Some tau_min -> (
+              let check pd =
+                match
+                  ( Offset.adjust_distance pd ~tau_min,
+                    Offset.min_offset pd,
+                    Pd.par_stride (List.hd pd.Pd.groups) )
+                with
+                | Some r, Some tau, Some dp ->
+                    Env.eval Env.empty tau
+                    = Env.eval Env.empty tau_min
+                      + (Env.eval Env.empty r * Env.eval Env.empty dp)
+                | _ -> false
+              in
+              check pd1 && check pd2)))
+
+(* Memo coherence: flushing every cache (and re-seeding the probe
+   stream, which flushes the seed-dependent tables) must not change any
+   answer - a cold run and a warm run agree. *)
+let prop_memo_coherence =
+  QCheck.Test.make ~name:"cold and warm caches give identical results" ~count
+    arb_affine (fun prog ->
+      let compute () =
+        Probe.with_seed 506 (fun () ->
+            let pd = Unionize.simplify (pd_of prog 0) in
+            (expand pd ~par:None, expand pd ~par:(Some 0)))
+      in
+      Core.Metrics.clear_caches ();
+      let cold = compute () in
+      let warm = compute () in
+      Core.Metrics.clear_caches ();
+      let cold2 = compute () in
+      cold = warm && cold = cold2)
+
+(* ------------------------------------------------------------------ *)
+(* Frontend round trip and pipeline determinism *)
+
+(* The parser rebalances affine sums, so structural equality is too
+   strong for generated programs; the trip must instead be a fixed
+   point of unparsing and leave the denoted address set untouched. *)
+let prop_parse_unparse =
+  QCheck.Test.make ~name:"parse (unparse p) = p (up to normalisation)" ~count
+    arb_affine (fun prog ->
+      let text = Frontend.Unparse.to_string prog in
+      match Frontend.Parse.program text with
+      | exception Frontend.Parse.Error _ -> false
+      | parsed ->
+          Frontend.Unparse.to_string parsed = text
+          && oracle parsed 0 ~par:None = oracle prog 0 ~par:None)
+
+let report_of t = Format.asprintf "%a" Core.Pipeline.report t
+
+let prop_pipeline_deterministic =
+  QCheck.Test.make ~name:"Pipeline.run twice = identical report" ~count
+    arb_affine (fun prog ->
+      let once () =
+        Probe.with_seed 507 (fun () ->
+            report_of (Core.Pipeline.run prog ~env:Env.empty ~h:4))
+      in
+      once () = once ())
+
+(* ------------------------------------------------------------------ *)
+(* The same two guarantees over every shipped surface program: the
+   corpus exercises pow2 parameters, subroutines, repeat loops and
+   multi-array phases that the generators above do not reach. *)
+
+let samples_dir =
+  let rec up dir =
+    let candidate = Filename.concat dir "examples/programs" in
+    if Sys.file_exists candidate && Sys.is_directory candidate then candidate
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then failwith "examples/programs not found"
+      else up parent
+  in
+  up (Sys.getcwd ())
+
+let sample_files () =
+  Sys.readdir samples_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".dsm")
+  |> List.sort compare
+
+(* Midpoint bindings for each declared parameter (the dsmloc `file`
+   command's default environment). *)
+let midpoint_env (prog : Types.program) =
+  List.fold_left
+    (fun env (vn, d) ->
+      match d with
+      | Assume.Int_range (lo, hi) -> Env.add vn ((lo + hi) / 2) env
+      | Assume.Pow2_of w -> Env.add vn (1 lsl Env.find env w) env
+      | Assume.Expr_range _ -> env)
+    Env.empty
+    (Assume.to_list prog.params)
+
+let test_samples_roundtrip () =
+  List.iter
+    (fun f ->
+      let path = Filename.concat samples_dir f in
+      let prog = Frontend.Parse.program_file path in
+      match Frontend.Parse.program (Frontend.Unparse.to_string prog) with
+      | parsed -> Alcotest.(check bool) (f ^ " roundtrips") true (parsed = prog)
+      | exception Frontend.Parse.Error { line; message } ->
+          Alcotest.fail (Printf.sprintf "%s: line %d: %s" f line message))
+    (sample_files ())
+
+let test_samples_deterministic () =
+  List.iter
+    (fun f ->
+      let path = Filename.concat samples_dir f in
+      let prog = Frontend.Parse.program_file path in
+      let env = midpoint_env prog in
+      let once () =
+        Probe.with_seed 508 (fun () ->
+            report_of (Core.Pipeline.run prog ~env ~h:4))
+      in
+      Alcotest.(check bool) (f ^ " deterministic") true (once () = once ()))
+    (sample_files ())
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "descriptor-algebra",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_coalesce_oracle;
+            prop_unionize_rows_oracle;
+            prop_simplify_oracle;
+            prop_simplify_idempotent;
+            prop_min_offset_oracle;
+            prop_homogenize_union;
+            prop_adjust_distance;
+          ] );
+      ( "caching",
+        [ QCheck_alcotest.to_alcotest prop_memo_coherence ] );
+      ( "frontend",
+        [
+          QCheck_alcotest.to_alcotest prop_parse_unparse;
+          Alcotest.test_case "all samples roundtrip" `Quick
+            test_samples_roundtrip;
+        ] );
+      ( "pipeline",
+        [
+          QCheck_alcotest.to_alcotest prop_pipeline_deterministic;
+          Alcotest.test_case "all samples deterministic" `Slow
+            test_samples_deterministic;
+        ] );
+    ]
