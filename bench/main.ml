@@ -483,64 +483,100 @@ let ablations () =
 
 (* ------------------------------------------------------------------ *)
 (* Per-kernel pipeline metrics: run every registry code through the
-   full pipeline + simulator from a cold metrics registry and dump the
-   timers / cache hit rates as BENCH_pipeline.json (the CI bench-smoke
-   artifact).  A kernel whose pipeline raises is recorded with its
-   error and fails the whole run. *)
+   full pipeline + simulator and dump the timers / cache hit rates as
+   BENCH_pipeline.json (the CI bench-smoke artifact).  The sweep runs
+   on the [Core.Pool] batch driver (default 4 forked workers, override
+   with [-j N]): each job starts from a cold metrics registry in its
+   own worker and the parent merges the results in registry order, so
+   the artifact is identical whatever the worker count.  A kernel whose
+   pipeline raises - or whose job is lost past the retry budget - is
+   recorded with its error and fails the whole run. *)
+
+let bench_worker ~attempt:_ name =
+  (* runs in a pool worker: fresh registry and caches courtesy of the
+     pool's per-job reset *)
+  let e = Codes.Registry.find name in
+  let size = min e.default_size 6 in
+  let env = e.env_of_size size in
+  let t0 = Metrics.now () in
+  let outcome =
+    try
+      let t = Core.Pipeline.run e.program ~env ~h:4 in
+      (try ignore (Core.Pipeline.simulate t)
+       with ex when Core.Pipeline.recoverable ex -> ());
+      Ok (Core.Pipeline.degraded t)
+    with ex -> Error (Printexc.to_string ex)
+  in
+  let wall = Metrics.now () -. t0 in
+  let eval_rate = Metrics.hit_rate (Metrics.cache "env.eval") in
+  (size, wall, outcome, eval_rate)
+
+let bench_jobs () =
+  let n = ref 4 in
+  Array.iteri
+    (fun i a ->
+      if a = "-j" && i + 1 < Array.length Sys.argv then
+        match int_of_string_opt Sys.argv.(i + 1) with
+        | Some v when v > 0 -> n := v
+        | _ -> ())
+    Sys.argv;
+  !n
 
 let bench_pipeline () =
   sep "Pipeline metrics per registry kernel (BENCH_pipeline.json)";
   let h = 4 in
+  let jobs = bench_jobs () in
   let failed = ref false in
   let buf = Buffer.create 8192 in
   Buffer.add_string buf
     (Printf.sprintf "{\"schema\":\"bench_pipeline/1\",\"h\":%d,\"kernels\":{" h);
+  Printf.printf "(pool: %d workers)\n" jobs;
   Printf.printf "%-10s %10s %10s %9s  %s\n" "kernel" "wall ms" "env.eval"
     "degraded" "error";
-  List.iteri
-    (fun i (e : Codes.Registry.entry) ->
-      if i > 0 then Buffer.add_char buf ',';
-      Metrics.reset ();
-      Metrics.clear_caches ();
-      let size = min e.default_size 6 in
-      let env = e.env_of_size size in
-      let t0 = Metrics.now () in
-      let outcome =
-        try
-          let t = Core.Pipeline.run e.program ~env ~h in
-          (try ignore (Core.Pipeline.simulate t)
-           with ex when Core.Pipeline.recoverable ex -> ());
-          Ok (Core.Pipeline.degraded t)
-        with ex -> Error (Printexc.to_string ex)
-      in
-      let wall = Metrics.now () -. t0 in
-      let snap = Metrics.snapshot () in
-      let degraded, error =
-        match outcome with Ok d -> (d, None) | Error m -> (false, Some m)
-      in
-      if error <> None then failed := true;
-      let eval_rate = Metrics.hit_rate (Metrics.cache "env.eval") in
-      Printf.printf "%-10s %10.1f %9.1f%% %9b  %s\n%!" e.name (1000. *. wall)
-        (100. *. eval_rate) degraded
-        (Option.value error ~default:"-");
-      Buffer.add_string buf
-        (Printf.sprintf
-           "\"%s\":{\"size\":%d,\"wall_seconds\":%s,\"degraded\":%b,\"error\":%s,\"metrics\":%s}"
-           (Metrics.json_escape e.name)
-           size
-           (Metrics.json_float wall)
-           degraded
-           (match error with
-           | None -> "null"
-           | Some m -> "\"" ^ Metrics.json_escape m ^ "\"")
-           (Metrics.to_json snap)))
-    Codes.Registry.all;
+  let emit i name ~size ~wall ~degraded ~error ~metrics_json ~eval_rate =
+    if i > 0 then Buffer.add_char buf ',';
+    if error <> None then failed := true;
+    Printf.printf "%-10s %10.1f %9.1f%% %9b  %s\n%!" name (1000. *. wall)
+      (100. *. eval_rate) degraded
+      (Option.value error ~default:"-");
+    Buffer.add_string buf
+      (Printf.sprintf
+         "\"%s\":{\"size\":%d,\"wall_seconds\":%s,\"degraded\":%b,\"error\":%s,\"metrics\":%s}"
+         (Metrics.json_escape name) size
+         (Metrics.json_float wall)
+         degraded
+         (match error with
+         | None -> "null"
+         | Some m -> "\"" ^ Metrics.json_escape m ^ "\"")
+         metrics_json)
+  in
+  let names = Codes.Registry.names in
+  let stream i outcome =
+    let name = List.nth names i in
+    match outcome with
+    | Core.Pool.Done d ->
+        let size, wall, res, eval_rate = d.value in
+        let degraded, error =
+          match res with Ok dg -> (dg, None) | Error m -> (false, Some m)
+        in
+        emit i name ~size ~wall ~degraded ~error
+          ~metrics_json:(Metrics.to_json d.metrics) ~eval_rate
+    | Core.Pool.Failed { attempts; reasons } ->
+        emit i name ~size:0 ~wall:0. ~degraded:false
+          ~error:
+            (Some
+               (Printf.sprintf "job lost after %d attempts: %s" attempts
+                  (String.concat "; " reasons)))
+          ~metrics_json:"{}" ~eval_rate:0.
+  in
+  let _outcomes, _merged =
+    Core.Pool.map ~workers:jobs ~f:bench_worker ~stream names
+  in
   Buffer.add_string buf "}}\n";
   let oc = open_out "BENCH_pipeline.json" in
   Buffer.output_buffer oc buf;
   close_out oc;
-  Printf.printf "wrote BENCH_pipeline.json (%d kernels)\n"
-    (List.length Codes.Registry.all);
+  Printf.printf "wrote BENCH_pipeline.json (%d kernels)\n" (List.length names);
   if !failed then begin
     Printf.eprintf "bench_pipeline: at least one kernel pipeline errored\n";
     exit 1

@@ -2,6 +2,8 @@
 
      dsmloc list
      dsmloc analyze  <code> [--size N] [--procs H] [--strict] [--max-errors N]
+     dsmloc batch    [CODE...] [--all] [--jobs N] [--size N] [--procs H,H..]
+                              [--inject-crash CODE]
      dsmloc lcg      <code> [--size N] [--procs H]
      dsmloc solve    <code> [--size N] [--procs H]
      dsmloc simulate <code> [--size N] [--procs H] [--baseline]
@@ -442,6 +444,157 @@ let file_cmd =
       const f $ profile_term $ path_arg $ procs_arg $ env_arg $ autopar_arg
       $ strict_arg $ max_errors_arg)
 
+(* ------------------------------------------------------------------ *)
+(* batch: sharded multi-process analysis over many codes at once.
+
+   Jobs and results cross the fork boundary by Marshal, so both are
+   plain records of strings/ints; the worker renders its report and
+   diagnostics to strings before shipping them back. *)
+
+type batch_job = {
+  bj_name : string;
+  bj_size : int;
+  bj_h : int;
+  bj_crash : bool;  (* fault injection: die on the first attempt *)
+}
+
+type batch_result = {
+  br_body : string;  (* rendered pipeline report *)
+  br_diags : string;  (* rendered diagnostics table, [""] when clean *)
+  br_degraded : bool;
+}
+
+let batch_worker ~attempt (j : batch_job) =
+  (* --inject-crash: SIGKILL ourselves on the first attempt only, so
+     the retry (on a fresh worker) succeeds and the batch exits 0 with
+     the loss on record as a POOL-WORKER-LOST diagnostic. *)
+  if j.bj_crash && attempt = 1 then Unix.kill (Unix.getpid ()) Sys.sigkill;
+  let entry = Codes.Registry.find j.bj_name in
+  let env = entry.env_of_size j.bj_size in
+  let diags = Core.Diag.collector () in
+  let t = Core.Pipeline.run ~diags entry.program ~env ~h:j.bj_h in
+  {
+    br_body = Format.asprintf "%a" Core.Pipeline.report t;
+    br_diags =
+      (match Core.Pipeline.diagnostics t with
+      | [] -> ""
+      | ds -> Format.asprintf "%a" Core.Diag.pp_table ds);
+    br_degraded = Core.Pipeline.degraded t;
+  }
+
+let batch_cmd =
+  let codes_arg =
+    let doc =
+      Printf.sprintf "Benchmark codes to analyze (default: all of %s)."
+        (String.concat ", " Codes.Registry.names)
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"CODE" ~doc)
+  in
+  let all_arg =
+    let doc = "Analyze every registry benchmark (in addition to CODEs)." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let jobs_arg =
+    let doc = "Number of forked worker processes." in
+    Arg.(value & opt int 4 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let procs_list_arg =
+    let doc =
+      "Comma-separated processor counts; each code is analyzed once per \
+       count."
+    in
+    Arg.(value & opt (list int) [ 4 ] & info [ "procs"; "H" ] ~docv:"H,.." ~doc)
+  in
+  let crash_arg =
+    let doc =
+      "Fault injection: the worker running $(docv)'s first attempt kills \
+       itself (SIGKILL) mid-job, exercising the pool's crash-recovery \
+       path.  The job is retried on a fresh worker."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "inject-crash" ] ~docv:"CODE" ~doc)
+  in
+  let f () names all jobs size hs crash =
+    let names = names @ (if all then Codes.Registry.names else []) in
+    let names = if names = [] then Codes.Registry.names else names in
+    List.iter
+      (fun n ->
+        if not (List.mem n Codes.Registry.names) then begin
+          Printf.eprintf "unknown code %S; try: %s\n" n
+            (String.concat ", " Codes.Registry.names);
+          exit 1
+        end)
+      names;
+    (match crash with
+    | Some c when not (List.mem c names) ->
+        Printf.eprintf "--inject-crash %s: code is not part of this batch\n" c;
+        exit 1
+    | _ -> ());
+    let job_list =
+      List.concat_map
+        (fun name ->
+          let entry = Codes.Registry.find name in
+          let sz = Option.value size ~default:entry.default_size in
+          List.map
+            (fun h ->
+              { bj_name = name; bj_size = sz; bj_h = h;
+                bj_crash = crash = Some name })
+            hs)
+        names
+    in
+    let diags = Core.Diag.collector () in
+    let failed = ref false in
+    let describe (j : batch_job) =
+      Printf.sprintf "%s (size %d, H=%d)" j.bj_name j.bj_size j.bj_h
+    in
+    let stream idx outcome =
+      let j = List.nth job_list idx in
+      match outcome with
+      | Core.Pool.Done d ->
+          List.iter
+            (fun reason ->
+              Core.Diag.addf diags ~severity:Core.Diag.Error
+                ~stage:Core.Diag.Pool ~where:j.bj_name ~code:"POOL-WORKER-LOST"
+                "job %s lost an attempt (%s); retried on a fresh worker"
+                (describe j) reason)
+            d.lost;
+          let (r : batch_result) = d.value in
+          Printf.printf "=== %s ===\n" (describe j);
+          print_string r.br_body;
+          print_newline ();
+          prerr_string r.br_diags;
+          if r.br_degraded then failed := true
+      | Core.Pool.Failed { attempts; reasons } ->
+          Core.Diag.addf diags ~severity:Core.Diag.Error ~stage:Core.Diag.Pool
+            ~where:j.bj_name ~code:"POOL-WORKER-LOST"
+            "job %s failed permanently after %d attempts (%s)" (describe j)
+            attempts
+            (String.concat "; " reasons);
+          Printf.printf "=== %s ===\n" (describe j);
+          Printf.printf "FAILED after %d attempts\n\n" attempts;
+          failed := true
+    in
+    let _outcomes, merged =
+      Core.Pool.map ~workers:jobs ~f:batch_worker ~stream job_list
+    in
+    (* Fold the workers' per-job snapshots into the parent registry so
+       the at_exit --profile/--profile-json report is fleet-wide. *)
+    Core.Metrics.absorb merged;
+    (match Core.Diag.to_list diags with
+    | [] -> ()
+    | ds -> Format.eprintf "%a@?" Core.Diag.pp_table ds);
+    if !failed then exit 2
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Analyze many codes in parallel on a pool of forked worker \
+          processes: crash-isolated, deterministically ordered output, \
+          fleet-merged metrics.")
+    Term.(
+      const f $ profile_term $ codes_arg $ all_arg $ jobs_arg $ size_arg
+      $ procs_list_arg $ crash_arg)
+
 let lint_cmd =
   let targets_arg =
     let doc =
@@ -520,4 +673,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; analyze_cmd; lcg_cmd; solve_cmd; simulate_cmd; sweep_cmd; comm_cmd; dot_cmd; spmd_cmd; report_cmd; table1_cmd; stability_cmd; validate_cmd; file_cmd; lint_cmd ]))
+          [ list_cmd; analyze_cmd; batch_cmd; lcg_cmd; solve_cmd; simulate_cmd; sweep_cmd; comm_cmd; dot_cmd; spmd_cmd; report_cmd; table1_cmd; stability_cmd; validate_cmd; file_cmd; lint_cmd ]))

@@ -22,6 +22,12 @@
       degradation to the documented fallback;
     - [SOLVE-BROKEN]: the solver kept a plan that violates locality
       rows (they are priced as communication instead);
+    - [SOLVE-BUDGET]: the solver's search budget ran out before the
+      enumeration finished; the incumbent solution may be sub-optimal,
+      so the run falls back to the BLOCK baseline plan;
+    - [POOL-WORKER-LOST]: a batch worker process died mid-job (signal
+      or unclean exit); the job was retried on a freshly forked worker
+      (or, past the retry budget, reported as permanently failed);
     - [COMM-SIZE]: an array size would not evaluate while generating
       the communication schedule (the array's messages are omitted);
     - [FAULT-INJECTED], [FAULT-UNRECOVERED]: fault-injection summary /
@@ -51,6 +57,7 @@ type stage =
   | Comm
   | Exec
   | Validation
+  | Pool  (** the batch driver's forked-worker pool (see {!Pool}) *)
 
 type t = {
   severity : severity;

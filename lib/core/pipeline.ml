@@ -109,6 +109,7 @@ let run ?machine ?(strict = false) ?(lint = true) ?diags prog ~env ~h =
           c_cost = 0.0;
           objective = 0.0;
           broken = [];
+          budget_exhausted = false;
         })
       (fun () -> Ilp.Solve.solve model machine)
   in
@@ -116,6 +117,13 @@ let run ?machine ?(strict = false) ?(lint = true) ?diags prog ~env ~h =
     Diag.addf diags ~severity:Diag.Warning ~stage:Diag.Solve
       ~code:"SOLVE-BROKEN" "%d locality row(s) violated (priced as extra C)"
       (List.length solution.broken);
+  if solution.budget_exhausted then begin
+    Diag.addf diags ~severity:Diag.Warning ~stage:Diag.Solve
+      ~code:"SOLVE-BUDGET"
+      "solver search budget exhausted (incumbent may be sub-optimal); \
+       falling back to the BLOCK baseline plan";
+    solve_failed := true
+  end;
   let plan =
     Metrics.with_timer plan_timer @@ fun () ->
     if !solve_failed then Ilp.Distribution.block_plan lcg

@@ -22,39 +22,35 @@ type schedule = event list
 (* Narrowed to the symbolic-evaluation failures only (an undeclared
    array is an internal invariant violation and must keep crashing): a
    size that does not evaluate means this array's messages cannot be
-   generated, which [on_error] surfaces instead of silently emitting an
-   empty communication schedule. *)
+   generated, which [on_error] surfaces and [None] makes explicit so
+   callers skip the array's events instead of doing layout math on a
+   phantom size-0 array. *)
 let array_size ?on_error (lcg : Lcg.t) array =
+  let report msg =
+    match on_error with Some f -> f msg | None -> ()
+  in
   try
-    Env.eval lcg.env
-      (Ir.Linearize.size ~dims:(Ir.Types.array_decl lcg.prog array).dims)
+    Some
+      (Env.eval lcg.env
+         (Ir.Linearize.size ~dims:(Ir.Types.array_decl lcg.prog array).dims))
   with
   | Env.Unbound v ->
-      (match on_error with
-      | Some f ->
-          f
-            (Printf.sprintf
-               "array %s: size has unbound parameter %s; omitting its messages"
-               array v)
-      | None -> ());
-      0
+      report
+        (Printf.sprintf
+           "array %s: size has unbound parameter %s; omitting its messages"
+           array v);
+      None
   | Expr.Non_integral e ->
-      (match on_error with
-      | Some f ->
-          f
-            (Printf.sprintf
-               "array %s: size is non-integral (%s); omitting its messages"
-               array e)
-      | None -> ());
-      0
+      report
+        (Printf.sprintf
+           "array %s: size is non-integral (%s); omitting its messages" array
+           e);
+      None
   | Qnum.Overflow ->
-      (match on_error with
-      | Some f ->
-          f
-            (Printf.sprintf
-               "array %s: size overflowed; omitting its messages" array)
-      | None -> ());
-      0
+      report
+        (Printf.sprintf "array %s: size overflowed; omitting its messages"
+           array);
+      None
 
 (* Group (src, dst, addr) triples into aggregated messages with maximal
    contiguous ranges. *)
@@ -164,36 +160,38 @@ let generate ?on_error (lcg : Lcg.t) (plan : Distribution.plan) : schedule =
               Distribution.layout_for plan ~array:l.array
                 ~phase_idx:((k - 1 + n_phases) mod n_phases)
             with
-            | Some prev when prev <> l ->
-                let size = array_size lcg l.array in
-                let triples = ref [] in
-                for a = 0 to size - 1 do
-                  let po = Distribution.proc_of plan prev ~addr:a in
-                  let no = Distribution.proc_of plan l ~addr:a in
-                  if po <> no then triples := (po, no, a) :: !triples
-                done;
-                if !triples <> [] then
-                  events :=
-                    Redistribute
-                      {
-                        array = l.array;
-                        before_phase = k;
-                        messages = aggregate !triples;
-                      }
-                    :: !events;
-                (* a second round initializes the ghost replicas from
-                   the now-current owners (order matters: strips read
-                   the owners' post-copy-in data) *)
-                let strips = strip_triples plan l size in
-                if strips <> [] then
-                  events :=
-                    Redistribute
-                      {
-                        array = l.array;
-                        before_phase = k;
-                        messages = aggregate strips;
-                      }
-                    :: !events
+            | Some prev when prev <> l -> (
+                match array_size lcg l.array with
+                | None -> () (* size unevaluable: reported, events omitted *)
+                | Some size ->
+                    let triples = ref [] in
+                    for a = 0 to size - 1 do
+                      let po = Distribution.proc_of plan prev ~addr:a in
+                      let no = Distribution.proc_of plan l ~addr:a in
+                      if po <> no then triples := (po, no, a) :: !triples
+                    done;
+                    if !triples <> [] then
+                      events :=
+                        Redistribute
+                          {
+                            array = l.array;
+                            before_phase = k;
+                            messages = aggregate !triples;
+                          }
+                        :: !events;
+                    (* a second round initializes the ghost replicas from
+                       the now-current owners (order matters: strips read
+                       the owners' post-copy-in data) *)
+                    let strips = strip_triples plan l size in
+                    if strips <> [] then
+                      events :=
+                        Redistribute
+                          {
+                            array = l.array;
+                            before_phase = k;
+                            messages = aggregate strips;
+                          }
+                        :: !events)
             | _ -> ())
         plan.layouts;
       (* Frontier updates after phases writing halo'd arrays. *)
@@ -207,14 +205,16 @@ let generate ?on_error (lcg : Lcg.t) (plan : Distribution.plan) : schedule =
       Hashtbl.iter
         (fun array () ->
           match Distribution.layout_for plan ~array ~phase_idx:k with
-          | Some l when l.halo > 0 && List.length lcg.prog.phases > 1 ->
-              let size = array_size lcg array in
-              let triples = strip_triples plan l size in
-              if triples <> [] then
-                events :=
-                  Frontier
-                    { array; after_phase = k; messages = aggregate triples }
-                  :: !events
+          | Some l when l.halo > 0 && List.length lcg.prog.phases > 1 -> (
+              match array_size lcg array with
+              | None -> ()
+              | Some size ->
+                  let triples = strip_triples plan l size in
+                  if triples <> [] then
+                    events :=
+                      Frontier
+                        { array; after_phase = k; messages = aggregate triples }
+                      :: !events)
           | _ -> ())
         written)
     lcg.prog.phases;

@@ -44,11 +44,13 @@ val write_covers_epoch : Lcg.t -> Ilp.Distribution.layout -> bool
     phase write-covers everything the epoch touches, so entering the
     epoch needs no redistribution. *)
 
-val array_size : ?on_error:(string -> unit) -> Lcg.t -> string -> int
+val array_size : ?on_error:(string -> unit) -> Lcg.t -> string -> int option
 (** Concrete linearized size of an array under the LCG's environment.
-    Returns 0 (and reports through [on_error]) only for symbolic
+    Returns [None] (and reports through [on_error]) only for symbolic
     evaluation failures - an unbound parameter, a non-integral size, or
-    arithmetic overflow; an undeclared array still raises. *)
+    arithmetic overflow - so callers skip that array's events
+    explicitly instead of doing layout math on a phantom size-0 array;
+    an undeclared array still raises. *)
 
 val generate : ?on_error:(string -> unit) -> Lcg.t -> Ilp.Distribution.plan -> schedule
 (** Events in program order; for a repeating program, events with

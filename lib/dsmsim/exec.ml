@@ -188,7 +188,9 @@ let run ?(rounds = 1) ?on_error ?faults ?(retries = 0) (lcg : Lcg.t)
                     (not owned)
                     && l.halo > 0
                     && (match access with Ir.Types.Read -> true | Ir.Types.Write -> false)
-                    && (l.halo >= size_of array
+                    && ((match size_of array with
+                        | Some s -> l.halo >= s
+                        | None -> false (* unknown size: not replicated *))
                        || Distribution.proc_of plan l ~addr:(addr - w) = proc
                        || Distribution.proc_of plan l ~addr:(addr + w) = proc)
                   in

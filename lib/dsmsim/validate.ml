@@ -87,7 +87,9 @@ let run ?(rounds = 1) ?on_error ?sched (lcg : Lcg.t) (plan : Distribution.plan)
                            && l.halo > 0
                            &&
                            let w = min l.halo l.block in
-                           l.halo >= size_of array
+                           (match size_of array with
+                           | Some s -> l.halo >= s
+                           | None -> false)
                            || Distribution.proc_of plan l ~addr:(addr - w)
                               = proc
                            || Distribution.proc_of plan l ~addr:(addr + w)

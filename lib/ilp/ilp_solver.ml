@@ -7,9 +7,10 @@ type outcome =
 
 let is_integral q = Qnum.is_integer q
 
-let solve ?(max_nodes = 100_000) (p : Lp.problem) : outcome =
+let solve_budgeted ?(max_nodes = 100_000) (p : Lp.problem) : outcome * bool =
   let best = ref None in
   let nodes = ref 0 in
+  let exhausted = ref false in
   let better value =
     match !best with
     | None -> true
@@ -17,51 +18,60 @@ let solve ?(max_nodes = 100_000) (p : Lp.problem) : outcome =
   in
   let rec branch (extra : Lp.constr list) =
     incr nodes;
-    if !nodes > max_nodes then failwith "Ilp_solver: node budget exceeded";
-    match Lp.solve { p with constraints = p.constraints @ extra } with
-    | Lp.Infeasible -> ()
-    | Lp.Unbounded -> raise Exit
-    | Lp.Optimal { value; point } ->
-        if better value then begin
-          (* Most fractional variable. *)
-          let frac = ref None in
-          Array.iteri
-            (fun j x ->
-              if not (is_integral x) then
-                let f =
-                  Qnum.sub x (Qnum.of_int (Qnum.floor x))
+    (* Budget exceeded: stop expanding this subtree but keep whatever
+       incumbent the search has found so far - the caller decides how
+       to degrade (the pipeline warns and falls back to BLOCK). *)
+    if !nodes > max_nodes then exhausted := true
+    else
+      match Lp.solve { p with constraints = p.constraints @ extra } with
+      | Lp.Infeasible -> ()
+      | Lp.Unbounded -> raise Exit
+      | Lp.Optimal { value; point } ->
+          if better value then begin
+            (* Most fractional variable. *)
+            let frac = ref None in
+            Array.iteri
+              (fun j x ->
+                if not (is_integral x) then
+                  let f =
+                    Qnum.sub x (Qnum.of_int (Qnum.floor x))
+                  in
+                  let dist =
+                    Qnum.abs (Qnum.sub f (Qnum.make 1 2))
+                  in
+                  match !frac with
+                  | None -> frac := Some (j, x, dist)
+                  | Some (_, _, d) ->
+                      if Qnum.compare dist d < 0 then frac := Some (j, x, dist))
+              point;
+            match !frac with
+            | None ->
+                (* Integral optimum of this node. *)
+                if better value then
+                  best :=
+                    Some
+                      ( value,
+                        Array.map (fun q -> Qnum.to_int q) point )
+            | Some (j, x, _) ->
+                let unit j n =
+                  Array.init n (fun k -> if k = j then Qnum.one else Qnum.zero)
                 in
-                let dist =
-                  Qnum.abs (Qnum.sub f (Qnum.make 1 2))
-                in
-                match !frac with
-                | None -> frac := Some (j, x, dist)
-                | Some (_, _, d) ->
-                    if Qnum.compare dist d < 0 then frac := Some (j, x, dist))
-            point;
-          match !frac with
-          | None ->
-              (* Integral optimum of this node. *)
-              if better value then
-                best :=
-                  Some
-                    ( value,
-                      Array.map (fun q -> Qnum.to_int q) point )
-          | Some (j, x, _) ->
-              let unit j n =
-                Array.init n (fun k -> if k = j then Qnum.one else Qnum.zero)
-              in
-              let fl = Qnum.of_int (Qnum.floor x) in
-              branch
-                (Lp.constr (unit j p.n_vars) Lp.Le fl :: extra);
-              branch
-                (Lp.constr (unit j p.n_vars) Lp.Ge (Qnum.add fl Qnum.one)
-                :: extra)
-        end
+                let fl = Qnum.of_int (Qnum.floor x) in
+                branch
+                  (Lp.constr (unit j p.n_vars) Lp.Le fl :: extra);
+                branch
+                  (Lp.constr (unit j p.n_vars) Lp.Ge (Qnum.add fl Qnum.one)
+                  :: extra)
+          end
   in
   try
     branch [];
-    match !best with
-    | Some (value, point) -> Optimal { value; point }
-    | None -> Infeasible
-  with Exit -> Unbounded
+    let outcome =
+      match !best with
+      | Some (value, point) -> Optimal { value; point }
+      | None -> Infeasible
+    in
+    (outcome, !exhausted)
+  with Exit -> (Unbounded, !exhausted)
+
+let solve ?max_nodes p = fst (solve_budgeted ?max_nodes p)

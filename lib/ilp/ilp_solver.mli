@@ -12,7 +12,16 @@ type outcome =
   | Infeasible
   | Unbounded
 
-val solve : ?max_nodes:int -> Lp.problem -> outcome
+val solve_budgeted : ?max_nodes:int -> Lp.problem -> outcome * bool
 (** All variables are required integer (and >= 0, inherited from
     {!Lp}).  [max_nodes] (default 100_000) guards pathological
-    instances; exceeding it raises [Failure]. *)
+    instances: once the budget is spent the search stops expanding and
+    returns the incumbent found so far as [Optimal] (or [Infeasible]
+    when none), never an exception.  The boolean is true exactly when
+    the budget was exhausted, i.e. the outcome may be sub-optimal; the
+    pipeline surfaces it as a [SOLVE-BUDGET] warning and falls back to
+    the BLOCK baseline plan. *)
+
+val solve : ?max_nodes:int -> Lp.problem -> outcome
+(** [solve_budgeted] without the budget flag, for callers that only
+    need the (possibly incumbent) outcome. *)

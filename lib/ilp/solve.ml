@@ -6,7 +6,13 @@ type result = {
   c_cost : float;
   objective : float;
   broken : (string * int * int) list;
+  budget_exhausted : bool;
 }
+
+(* Cap on the representative values enumerated per component; a
+   component whose feasible window extends past it is only partially
+   searched, which the result records as budget exhaustion. *)
+let t_budget = 200_000
 
 let communication_words (lcg : Lcg.t) ~array ~phase_idx =
   match
@@ -190,6 +196,7 @@ let solve (model : Model.t) (m : Cost.machine) : result =
   in
   (* Choose t per component minimizing the component's D cost. *)
   let p = Array.make n 1 in
+  let budget_exhausted = ref false in
   for c = 0 to !n_comp - 1 do
     let members = List.filter (fun k -> comp.(k) = c) (List.init n Fun.id) in
     let best = ref None in
@@ -203,7 +210,8 @@ let solve (model : Model.t) (m : Cost.machine) : result =
             min acc (((bound.(k) * abs e.den) - e.off) / abs e.num))
         1_000_000 members
     in
-    for t = 1 to min t_max 200_000 do
+    if t_max > t_budget then budget_exhausted := true;
+    for t = 1 to min t_max t_budget do
       let vals =
         List.map (fun k -> (k, eval_affine exprs.(k) t)) members
       in
@@ -262,4 +270,5 @@ let solve (model : Model.t) (m : Cost.machine) : result =
           acc g.edges)
       0.0 lcg.graphs
   in
-  { p; d_cost; c_cost; objective = d_cost +. c_cost; broken = !broken }
+  { p; d_cost; c_cost; objective = d_cost +. c_cost; broken = !broken;
+    budget_exhausted = !budget_exhausted }

@@ -16,6 +16,11 @@ type result = {
   broken : (string * int * int) list;
       (** L edges (array, k, g) the solver had to violate (treated as
           extra C edges); empty in well-posed instances *)
+  budget_exhausted : bool;
+      (** true when some component's representative window extended
+          past the enumeration budget, so [p] may be sub-optimal; the
+          pipeline surfaces this as a [SOLVE-BUDGET] warning and falls
+          back to the BLOCK baseline plan *)
 }
 
 val solve : Model.t -> Cost.machine -> result

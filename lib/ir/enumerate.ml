@@ -9,7 +9,18 @@ let iter (prog : program) (env : Env.t) (ph : phase) ~f =
     | Some d -> d
     | None ->
         let decl = array_decl prog name in
-        let d = List.map (Env.eval env) decl.dims in
+        (* [flat] never multiplies by the final extent, so leave it
+           unevaluated: an array whose trailing (size-only) dimension
+           does not evaluate can still have its accesses enumerated
+           (the schedule generator skips such arrays' events via
+           [Comm.array_size], but the other references in the same
+           statement must not be lost with them). *)
+        let d =
+          match List.rev decl.dims with
+          | [] -> []
+          | _last :: rest_rev ->
+              List.rev (0 :: List.map (Env.eval env) rest_rev)
+        in
         Hashtbl.add dims_of name d;
         d
   in

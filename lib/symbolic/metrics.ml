@@ -181,6 +181,71 @@ let snapshot () =
           | _ -> None);
   }
 
+(* Fleet-wide aggregation: the batch driver's workers each report a
+   per-job snapshot over the result pipe; the parent folds them into
+   one registry-shaped view.  Counts add; histogram extrema combine;
+   an empty histogram side contributes nothing (its min/max are
+   sentinels, or 0 after a JSON round trip). *)
+let merge (a : snapshot) (b : snapshot) : snapshot =
+  let union ~combine xs ys =
+    let merged =
+      List.map
+        (fun (n, v) ->
+          match List.assoc_opt n ys with
+          | Some w -> (n, combine v w)
+          | None -> (n, v))
+        xs
+    in
+    merged @ List.filter (fun (n, _) -> not (List.mem_assoc n xs)) ys
+  in
+  {
+    counters = union ~combine:( + ) a.counters b.counters;
+    timers =
+      union
+        ~combine:(fun (c1, s1) (c2, s2) -> (c1 + c2, s1 +. s2))
+        a.timers b.timers;
+    histograms =
+      union
+        ~combine:(fun (n1, s1, mn1, mx1) (n2, s2, mn2, mx2) ->
+          if n1 = 0 then (n2, s2, mn2, mx2)
+          else if n2 = 0 then (n1, s1, mn1, mx1)
+          else (n1 + n2, s1 +. s2, Stdlib.min mn1 mn2, Stdlib.max mx1 mx2))
+        a.histograms b.histograms;
+    caches =
+      union
+        ~combine:(fun (h1, m1) (h2, m2) -> (h1 + h2, m1 + m2))
+        a.caches b.caches;
+  }
+
+let absorb (s : snapshot) =
+  List.iter
+    (fun (n, v) ->
+      let c = counter n in
+      c.count <- c.count + v)
+    s.counters;
+  List.iter
+    (fun (n, (calls, secs)) ->
+      let t = timer n in
+      t.calls <- t.calls + calls;
+      t.seconds <- t.seconds +. secs)
+    s.timers;
+  List.iter
+    (fun (n, (cnt, sum, mn, mx)) ->
+      if cnt > 0 then begin
+        let h = histogram n in
+        h.n <- h.n + cnt;
+        h.sum <- h.sum +. sum;
+        if mn < h.min_v then h.min_v <- mn;
+        if mx > h.max_v then h.max_v <- mx
+      end)
+    s.histograms;
+  List.iter
+    (fun (n, (hits, misses)) ->
+      let c = cache n in
+      c.hits <- c.hits + hits;
+      c.misses <- c.misses + misses)
+    s.caches
+
 let pp_table ppf (s : snapshot) =
   let line fmt = Format.fprintf ppf fmt in
   if s.timers <> [] then begin
@@ -293,3 +358,198 @@ let to_json (s : snapshot) =
                    ] ))
              s.histograms) );
     ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON parsing - the inverse of [to_json], hand-rolled for the same
+   no-dependency reason.  The pool workers ship their per-job snapshots
+   over the result pipe as JSON text; the parent parses them back for
+   merging.  Malformed input raises [Failure]. *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "Metrics.of_json: %s at %d" msg !pos) in
+  let peek () = if !pos >= n then fail "unexpected end" else s.[!pos] in
+  let advance () = Stdlib.incr pos in
+  let rec skip_ws () =
+    if
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    then begin
+      advance ();
+      skip_ws ()
+    end
+  in
+  let expect c =
+    if peek () <> c then fail (Printf.sprintf "expected %C" c) else advance ()
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char buf '"'; advance ()
+          | '\\' -> Buffer.add_char buf '\\'; advance ()
+          | '/' -> Buffer.add_char buf '/'; advance ()
+          | 'b' -> Buffer.add_char buf '\b'; advance ()
+          | 'f' -> Buffer.add_char buf '\012'; advance ()
+          | 'n' -> Buffer.add_char buf '\n'; advance ()
+          | 'r' -> Buffer.add_char buf '\r'; advance ()
+          | 't' -> Buffer.add_char buf '\t'; advance ()
+          | 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              pos := !pos + 4;
+              (* cell names are ASCII; anything else round-trips as '?' *)
+              Buffer.add_char buf
+                (if code < 0x80 then Char.chr code else '?')
+          | _ -> fail "bad escape");
+          go ()
+      | c when Char.code c < 0x20 -> fail "control char in string"
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    if peek () = '-' then advance ();
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
+      | _ -> false
+    do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' -> obj ()
+    | '[' -> arr ()
+    | '"' -> Jstr (string_lit ())
+    | 't' -> literal "true" (Jbool true)
+    | 'f' -> literal "false" (Jbool false)
+    | 'n' -> literal "null" Jnull
+    | '-' | '0' .. '9' -> Jnum (number ())
+    | _ -> fail "unexpected character"
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = '}' then begin
+      advance ();
+      Jobj []
+    end
+    else
+      let rec members acc =
+        skip_ws ();
+        let k = string_lit () in
+        skip_ws ();
+        expect ':';
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | ',' ->
+            advance ();
+            members ((k, v) :: acc)
+        | '}' ->
+            advance ();
+            Jobj (List.rev ((k, v) :: acc))
+        | _ -> fail "expected ',' or '}'"
+      in
+      members []
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = ']' then begin
+      advance ();
+      Jarr []
+    end
+    else
+      let rec elems acc =
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | ',' ->
+            advance ();
+            elems (v :: acc)
+        | ']' ->
+            advance ();
+            Jarr (List.rev (v :: acc))
+        | _ -> fail "expected ',' or ']'"
+      in
+      elems []
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let of_json (text : string) : snapshot =
+  let fields = function
+    | Jobj kvs -> kvs
+    | _ -> failwith "Metrics.of_json: object expected"
+  in
+  let num = function
+    | Jnum f -> f
+    | Jnull -> 0.0 (* json_float maps NaN/infinities to null *)
+    | _ -> failwith "Metrics.of_json: number expected"
+  in
+  let int_field kvs k = int_of_float (num (List.assoc k kvs)) in
+  let float_field kvs k = num (List.assoc k kvs) in
+  let section top name =
+    match List.assoc_opt name top with
+    | Some (Jobj kvs) -> kvs
+    | _ -> failwith ("Metrics.of_json: missing section " ^ name)
+  in
+  let top = fields (parse_json text) in
+  {
+    counters = List.map (fun (n, v) -> (n, int_of_float (num v))) (section top "counters");
+    timers =
+      List.map
+        (fun (n, v) ->
+          let kvs = fields v in
+          (n, (int_field kvs "calls", float_field kvs "seconds")))
+        (section top "timers");
+    histograms =
+      List.map
+        (fun (n, v) ->
+          let kvs = fields v in
+          ( n,
+            ( int_field kvs "n",
+              float_field kvs "sum",
+              float_field kvs "min",
+              float_field kvs "max" ) ))
+        (section top "histograms");
+    caches =
+      List.map
+        (fun (n, v) ->
+          let kvs = fields v in
+          (n, (int_field kvs "hits", int_field kvs "misses")))
+        (section top "caches");
+  }

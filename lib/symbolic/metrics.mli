@@ -67,6 +67,25 @@ type snapshot = {
 val snapshot : unit -> snapshot
 (** Cells in creation order. *)
 
+val merge : snapshot -> snapshot -> snapshot
+(** Fleet-wide aggregation: counter values, timer calls/seconds and
+    cache hits/misses add; histograms combine count/sum and take the
+    min/max of the non-empty sides.  Cell order follows the first
+    snapshot, then any names only the second contains.  Used by the
+    batch driver to fold per-job worker snapshots into one view. *)
+
+val absorb : snapshot -> unit
+(** Add a snapshot's numbers into the live registry (creating cells as
+    needed), so a parent process's [--profile]/[--profile-json] report
+    includes its workers' merged numbers alongside its own. *)
+
+val of_json : string -> snapshot
+(** Parse a document produced by {!to_json} back into a snapshot (the
+    worker side of the pool's result pipe serialises with [to_json]).
+    [hit_rate] fields are ignored (recomputed); [null] floats (NaN or
+    infinities on the emitting side) parse as [0.0].
+    @raise Failure on malformed input. *)
+
 val pp_table : Format.formatter -> snapshot -> unit
 (** Human-readable table (the [--profile] stderr output). *)
 

@@ -50,8 +50,29 @@ let abs a = { a with num = Stdlib.abs a.num }
 let equal a b = a.num = b.num && a.den = b.den
 
 let compare a b =
-  (* Exact comparison via sign of the cross difference. *)
-  compare (mul_int a.num b.den) (mul_int b.num a.den)
+  (* Exact comparison via sign of the cross difference.  The raw
+     products [a.num * b.den] and [b.num * a.den] can overflow for
+     rationals near max_int even though both values are tame, which
+     would make comparison partial; cancelling gcd(|a.num|, |b.num|)
+     and gcd(a.den, b.den) first divides both products by the same
+     positive factor, preserving the sign of their difference.  If the
+     reduced products still overflow, fall back to the sign and then to
+     floating-point comparison - inexact, but total. *)
+  let sa = Stdlib.compare a.num 0 and sb = Stdlib.compare b.num 0 in
+  if sa <> sb then Stdlib.compare sa sb
+  else if a.num = b.num && a.den = b.den then 0
+  else
+    let gn = gcd (Stdlib.abs a.num) (Stdlib.abs b.num) in
+    let gd = gcd a.den b.den in
+    let gn = if gn = 0 then 1 else gn in
+    try
+      Stdlib.compare
+        (mul_int (a.num / gn) (b.den / gd))
+        (mul_int (b.num / gn) (a.den / gd))
+    with Overflow ->
+      Stdlib.compare
+        (float_of_int a.num /. float_of_int a.den)
+        (float_of_int b.num /. float_of_int b.den)
 
 let sign a = Stdlib.compare a.num 0
 let is_zero a = a.num = 0

@@ -32,6 +32,11 @@ val abs : t -> t
 val inv : t -> t
 
 val equal : t -> t -> bool
+
+(** Total order.  Comparison cross-reduces by gcd before multiplying so
+    rationals near [max_int] compare exactly; if the reduced cross
+    products would still overflow it falls back to sign and then
+    floating-point comparison instead of raising [Overflow]. *)
 val compare : t -> t -> int
 val sign : t -> int
 val is_zero : t -> bool

@@ -250,6 +250,92 @@ let test_dataflow_catches_missing_comm () =
 (* ------------------------------------------------------------------ *)
 (* Communication generation *)
 
+(* Regression: [Comm.array_size] used to swallow evaluation failures
+   and return 0, so an array whose declared size cannot be evaluated
+   produced size-0 strips and nonsense messages.  It now returns
+   [None] and [generate] omits that array's events (reporting through
+   [on_error]) while still scheduling every healthy array. *)
+let test_comm_unevaluable_size () =
+  Probe.with_seed 77 (fun () ->
+      let open Ir.Build in
+      let n = var "N" in
+      (* A is a healthy N*N array moved by a transpose (guaranteed
+         redistribution); B is identical except its declared size
+         references the unbound parameter M *)
+      let prog =
+        program ~name:"phantom"
+          ~params:
+            (Symbolic.Assume.of_list [ ("N", Symbolic.Assume.Int_range (8, 32)) ])
+          ~arrays:[ array "A" [ n * n ]; array "B" [ var "M" ] ]
+          [
+            phase "W"
+              (doall "c" ~lo:(int 0)
+                 ~hi:(n - int 1)
+                 [
+                   do_ "r" ~lo:(int 0)
+                     ~hi:(n - int 1)
+                     [
+                       assign
+                         [
+                           write "A" [ var "r" + (n * var "c") ];
+                           write "B" [ var "r" + (n * var "c") ];
+                         ];
+                     ];
+                 ]);
+            phase "T"
+              (doall "c" ~lo:(int 0)
+                 ~hi:(n - int 1)
+                 [
+                   do_ "r" ~lo:(int 0)
+                     ~hi:(n - int 1)
+                     [
+                       assign
+                         [
+                           read "A" [ var "c" + (n * var "r") ];
+                           read "B" [ var "c" + (n * var "r") ];
+                         ];
+                     ];
+                 ]);
+          ]
+      in
+      let env = Env.of_list [ ("N", 8) ] in
+      let t = Core.Pipeline.run prog ~env ~h:4 in
+      Alcotest.(check (option int))
+        "A size evaluates" (Some 64)
+        (Comm.array_size t.lcg "A");
+      Alcotest.(check (option int))
+        "B size unevaluable" None
+        (Comm.array_size t.lcg "B");
+      let errors = ref [] in
+      let sched =
+        Comm.generate ~on_error:(fun m -> errors := m :: !errors) t.lcg t.plan
+      in
+      let arrays_in_sched =
+        List.map
+          (function
+            | Comm.Redistribute { array; _ } | Comm.Frontier { array; _ } ->
+                array)
+          sched
+      in
+      Alcotest.(check bool) "A still scheduled" true
+        (List.mem "A" arrays_in_sched);
+      Alcotest.(check bool) "B omitted" false (List.mem "B" arrays_in_sched);
+      Alcotest.(check bool) "omission reported" true
+        (List.exists
+           (fun m -> String.length m >= 7 && String.sub m 0 7 = "array B")
+           !errors);
+      (* no message of any surviving event may be empty: the size-0
+         strips of the old behaviour are gone *)
+      List.iter
+        (function
+          | Comm.Redistribute { messages; _ } | Comm.Frontier { messages; _ }
+            ->
+              List.iter
+                (fun (m : Comm.message) ->
+                  Alcotest.(check bool) "positive words" true (m.words > 0))
+                messages)
+        sched)
+
 let test_comm_matches_exec () =
   Probe.with_seed 58 (fun () ->
       (* the generated redistribution schedule moves exactly the words
@@ -362,6 +448,8 @@ let () =
         ] );
       ( "comm",
         [
+          Alcotest.test_case "unevaluable size omitted" `Quick
+            test_comm_unevaluable_size;
           Alcotest.test_case "schedule = simulator words" `Quick
             test_comm_matches_exec;
           Alcotest.test_case "aggregation invariants" `Quick

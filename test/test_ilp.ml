@@ -138,6 +138,42 @@ let test_ilp_knapsack () =
       Alcotest.(check (array int)) "point" [| 4; 0 |] point
   | _ -> Alcotest.fail "expected optimal"
 
+(* Regression: the branch & bound used to [failwith "node budget
+   exceeded"] when the search tree outgrew [max_nodes].  It now prunes
+   instead, returning the best incumbent found (or [Infeasible] when
+   none was) together with an exhaustion flag. *)
+let test_ilp_budget () =
+  let p =
+    {
+      Lp.n_vars = 2;
+      objective = [| q 5; q 4 |];
+      constraints =
+        [
+          Lp.constr [| q 6; q 4 |] Lp.Le (q 24);
+          Lp.constr [| q 1; q 2 |] Lp.Le (q 6);
+        ];
+    }
+  in
+  (* a one-node budget cannot finish the knapsack search: no exception,
+     a total outcome, and the flag raised *)
+  (match Ilp_solver.solve_budgeted ~max_nodes:1 p with
+  | outcome, exhausted ->
+      Alcotest.(check bool) "budget reported exhausted" true exhausted;
+      (match outcome with
+      | Ilp_solver.Optimal { value; _ } ->
+          (* whatever incumbent survived is feasible, so <= true optimum *)
+          Alcotest.(check bool) "incumbent bounded by optimum" true
+            (Qnum.compare value (q 20) <= 0)
+      | Ilp_solver.Infeasible -> ()
+      | Ilp_solver.Unbounded -> Alcotest.fail "unbounded under a finite box"));
+  (* an ample budget reproduces the exact optimum with the flag down *)
+  match Ilp_solver.solve_budgeted p with
+  | Ilp_solver.Optimal { value; point }, exhausted ->
+      Alcotest.(check bool) "no exhaustion" false exhausted;
+      Alcotest.(check bool) "value 20" true (Qnum.equal value (q 20));
+      Alcotest.(check (array int)) "point" [| 4; 0 |] point
+  | _ -> Alcotest.fail "expected optimal"
+
 let prop_ilp_matches_bruteforce =
   QCheck.Test.make ~name:"B&B = brute force on small ILPs" ~count:80
     QCheck.(
@@ -357,6 +393,7 @@ let () =
       ( "bb",
         [
           Alcotest.test_case "knapsack" `Quick test_ilp_knapsack;
+          Alcotest.test_case "node budget total" `Quick test_ilp_budget;
           QCheck_alcotest.to_alcotest prop_ilp_matches_bruteforce;
         ] );
       ( "model",

@@ -275,6 +275,105 @@ let test_snapshot_json_valid () =
     [ "t.json-counter"; "t.json-timer"; "t.json-hist"; "t.json-cache";
       "hit_rate" ]
 
+(* ------------------------------------------------------------------ *)
+(* Parsing and merging: the worker side of the batch pool serialises
+   snapshots with [to_json]; the parent parses them back with [of_json]
+   and folds them with [merge]. *)
+
+let test_json_roundtrip () =
+  let snap =
+    {
+      M.counters = [ ("r.c", 7); ("r.zero", 0) ];
+      timers = [ ("r.t", (3, 0.625)) ];
+      histograms =
+        [ ("r.h", (2, 9.5, 1.25, 8.25)); ("r.empty", (0, 0.0, 0.0, 0.0)) ];
+      caches = [ ("r.$", (5, 2)) ];
+    }
+  in
+  let doc = M.to_json snap in
+  Alcotest.(check bool) "emitter output valid" true (json_valid doc);
+  let back = M.of_json doc in
+  Alcotest.(check int) "counter" 7 (List.assoc "r.c" back.counters);
+  Alcotest.(check int) "zero counter kept" 0
+    (List.assoc "r.zero" back.counters);
+  let calls, secs = List.assoc "r.t" back.timers in
+  Alcotest.(check int) "timer calls" 3 calls;
+  Alcotest.(check (float 1e-9)) "timer seconds" 0.625 secs;
+  let n, sum, mn, mx = List.assoc "r.h" back.histograms in
+  Alcotest.(check int) "hist n" 2 n;
+  Alcotest.(check (float 1e-9)) "hist sum" 9.5 sum;
+  Alcotest.(check (float 1e-9)) "hist min" 1.25 mn;
+  Alcotest.(check (float 1e-9)) "hist max" 8.25 mx;
+  Alcotest.(check (pair int int)) "cache" (5, 2) (List.assoc "r.$" back.caches)
+
+let test_of_json_rejects () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "%S rejected" s) true
+        (match M.of_json s with
+        | _ -> false
+        | exception Failure _ -> true))
+    [ ""; "{"; "[]"; "{\"counters\":[1]}"; "{\"counters\":{\"x\":}}";
+      "{} trailing" ]
+
+let test_merge_sums () =
+  let a =
+    {
+      M.counters = [ ("m.x", 2); ("m.only-a", 1) ];
+      timers = [ ("m.t", (1, 0.5)) ];
+      histograms = [ ("m.h", (2, 6.0, 1.0, 5.0)) ];
+      caches = [ ("m.$", (3, 1)) ];
+    }
+  in
+  let b =
+    {
+      M.counters = [ ("m.x", 5); ("m.only-b", 4) ];
+      timers = [ ("m.t", (2, 0.25)) ];
+      histograms = [ ("m.h", (1, 9.0, 9.0, 9.0)) ];
+      caches = [ ("m.$", (1, 6)) ];
+    }
+  in
+  let m = M.merge a b in
+  Alcotest.(check int) "shared counter sums" 7 (List.assoc "m.x" m.counters);
+  Alcotest.(check int) "a-only kept" 1 (List.assoc "m.only-a" m.counters);
+  Alcotest.(check int) "b-only kept" 4 (List.assoc "m.only-b" m.counters);
+  let calls, secs = List.assoc "m.t" m.timers in
+  Alcotest.(check int) "timer calls add" 3 calls;
+  Alcotest.(check (float 1e-9)) "timer seconds add" 0.75 secs;
+  let n, sum, mn, mx = List.assoc "m.h" m.histograms in
+  Alcotest.(check int) "hist n adds" 3 n;
+  Alcotest.(check (float 1e-9)) "hist sum adds" 15.0 sum;
+  Alcotest.(check (float 1e-9)) "hist min" 1.0 mn;
+  Alcotest.(check (float 1e-9)) "hist max" 9.0 mx;
+  Alcotest.(check (pair int int)) "cache adds" (4, 7)
+    (List.assoc "m.$" m.caches);
+  (* identity: merging with the empty snapshot changes nothing *)
+  let empty = { M.counters = []; timers = []; histograms = []; caches = [] } in
+  Alcotest.(check int) "left identity" 7
+    (List.assoc "m.x" (M.merge empty m).counters);
+  Alcotest.(check int) "right identity" 7
+    (List.assoc "m.x" (M.merge m empty).counters)
+
+let test_absorb () =
+  let snap =
+    {
+      M.counters = [ ("ab.c", 11) ];
+      timers = [ ("ab.t", (2, 0.125)) ];
+      histograms = [];
+      caches = [ ("ab.$", (2, 3)) ];
+    }
+  in
+  M.incr (M.counter "ab.c") ~by:4;
+  M.absorb snap;
+  let live = M.snapshot () in
+  Alcotest.(check int) "absorbed into live cell" 15
+    (List.assoc "ab.c" live.counters);
+  let calls, secs = List.assoc "ab.t" live.timers in
+  Alcotest.(check int) "timer created" 2 calls;
+  Alcotest.(check (float 1e-9)) "timer seconds" 0.125 secs;
+  Alcotest.(check (pair int int)) "cache created" (2, 3)
+    (List.assoc "ab.$" live.caches)
+
 (* The pipeline's own instrumentation: after one run on a registry code
    the stage timers have fired and the kernel caches have real hits -
    the acceptance bar for the --profile surface. *)
@@ -331,6 +430,13 @@ let () =
           Alcotest.test_case "primitives" `Quick test_json_primitives;
           Alcotest.test_case "snapshot document" `Quick
             test_snapshot_json_valid;
+          Alcotest.test_case "of_json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "of_json rejects" `Quick test_of_json_rejects;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "merge sums" `Quick test_merge_sums;
+          Alcotest.test_case "absorb" `Quick test_absorb;
         ] );
       ( "pipeline",
         [

@@ -58,6 +58,37 @@ let test_qnum_boundaries () =
     (Qnum.of_int (1 lsl 61))
     (Qnum.mul (Qnum.of_int (1 lsl 30)) (Qnum.of_int (1 lsl 31)))
 
+(* Regression: [compare] used to raise [Overflow] on rationals whose
+   cross products exceed Stdlib.max_int.  It now cross-reduces by gcd (exact
+   when that fits) and otherwise falls back to sign / floating-point
+   comparison - a total order even at the representation boundary. *)
+let test_qnum_compare_total () =
+  let big = Qnum.of_int Stdlib.max_int in
+  let near = Qnum.of_int Stdlib.(max_int - 1) in
+  Alcotest.(check int) "Stdlib.max_int vs Stdlib.max_int-1" 1 (Qnum.compare big near);
+  Alcotest.(check int) "Stdlib.max_int-1 vs Stdlib.max_int" (-1) (Qnum.compare near big);
+  Alcotest.(check int) "Stdlib.max_int vs Stdlib.max_int" 0 (Qnum.compare big big);
+  (* gcd cross-reduction: the naive cross products Stdlib.max_int * 3 and
+     Stdlib.max_int * 2 overflow, but dividing out gcd(Stdlib.max_int, Stdlib.max_int)
+     leaves the exact comparison 3 vs 2 *)
+  Alcotest.(check int) "Stdlib.max_int/2 vs Stdlib.max_int/3" 1
+    (Qnum.compare (Qnum.make Stdlib.max_int 2) (Qnum.make Stdlib.max_int 3));
+  Alcotest.(check int) "Stdlib.max_int/3 vs Stdlib.max_int/3" 0
+    (Qnum.compare (Qnum.make Stdlib.max_int 3) (Qnum.make Stdlib.max_int 3));
+  (* opposite signs decide on sign alone, no products formed *)
+  Alcotest.(check int) "-Stdlib.max_int vs Stdlib.max_int" (-1)
+    (Qnum.compare (Qnum.of_int (- Stdlib.max_int)) big);
+  (* coprime huge components (gcd(2^62-1, 2^61-1) = 1): the reduced
+     cross products still overflow, so the float fallback decides
+     ~2.0 vs ~0.5 *)
+  let a = Qnum.make Stdlib.max_int Stdlib.((1 lsl 61) - 1) in
+  let b = Qnum.make Stdlib.((1 lsl 61) - 1) Stdlib.max_int in
+  Alcotest.(check int) "float fallback orders" 1 (Qnum.compare a b);
+  Alcotest.(check int) "float fallback antisym" (-1) (Qnum.compare b a);
+  (* min/max are built on compare and must not raise either *)
+  Alcotest.(check qnum) "min near boundary" near (Qnum.min big near);
+  Alcotest.(check qnum) "max near boundary" big (Qnum.max big near)
+
 (* ------------------------------------------------------------------ *)
 (* Expr normal form *)
 
@@ -369,6 +400,7 @@ let () =
           Alcotest.test_case "basic" `Quick test_qnum_basic;
           Alcotest.test_case "overflow" `Quick test_qnum_overflow;
           Alcotest.test_case "boundaries" `Quick test_qnum_boundaries;
+          Alcotest.test_case "compare total" `Quick test_qnum_compare_total;
         ] );
       ( "expr",
         [
