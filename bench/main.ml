@@ -483,14 +483,19 @@ let ablations () =
 
 (* ------------------------------------------------------------------ *)
 (* Per-kernel pipeline metrics: run every registry code through the
-   full pipeline + simulator and dump the timers / cache hit rates as
-   BENCH_pipeline.json (the CI bench-smoke artifact).  The sweep runs
-   on the [Core.Pool] batch driver (default 4 forked workers, override
-   with [-j N]): each job starts from a cold metrics registry in its
-   own worker and the parent merges the results in registry order, so
-   the artifact is identical whatever the worker count.  A kernel whose
-   pipeline raises - or whose job is lost past the retry budget - is
-   recorded with its error and fails the whole run. *)
+   full pipeline + simulator - twice, so the record carries both the
+   cold wall time and the warm re-analysis answered from the artifact
+   stores - and append the timers / cache hit rates to
+   BENCH_pipeline.json (the CI bench-smoke artifact).  The file is a
+   JSON-lines log, one self-contained record per run stamped with the
+   git revision and UTC date, so successive runs accumulate a
+   comparable history instead of overwriting each other.  The sweep
+   runs on the [Core.Pool] batch driver (default 4 forked workers,
+   override with [-j N]): each job starts from a cold metrics registry
+   in its own worker and the parent merges the results in registry
+   order, so the record is identical whatever the worker count.  A
+   kernel whose pipeline raises - or whose job is lost past the retry
+   budget - is recorded with its error and fails the whole run. *)
 
 let bench_worker ~attempt:_ name =
   (* runs in a pool worker: fresh registry and caches courtesy of the
@@ -498,18 +503,31 @@ let bench_worker ~attempt:_ name =
   let e = Codes.Registry.find name in
   let size = min e.default_size 6 in
   let env = e.env_of_size size in
-  let t0 = Metrics.now () in
-  let outcome =
-    try
-      let t = Core.Pipeline.run e.program ~env ~h:4 in
-      (try ignore (Core.Pipeline.simulate t)
-       with ex when Core.Pipeline.recoverable ex -> ());
-      Ok (Core.Pipeline.degraded t)
-    with ex -> Error (Printexc.to_string ex)
+  let once () =
+    let t0 = Metrics.now () in
+    let outcome =
+      try
+        let t = Core.Pipeline.run e.program ~env ~h:4 in
+        (try ignore (Core.Pipeline.simulate t)
+         with ex when Core.Pipeline.recoverable ex -> ());
+        Ok t
+      with ex -> Error (Printexc.to_string ex)
+    in
+    (Metrics.now () -. t0, outcome)
   in
-  let wall = Metrics.now () -. t0 in
+  let cold_wall, cold = once () in
+  (* same seed scope, same environment: the second run must answer from
+     the artifact stores and render byte-identically *)
+  let warm_wall, warm = once () in
+  let outcome, identical =
+    match (cold, warm) with
+    | Ok tc, Ok tw ->
+        let render t = Format.asprintf "%a" Core.Pipeline.report t in
+        (Ok (Core.Pipeline.degraded tc), render tc = render tw)
+    | Error m, _ | _, Error m -> (Error m, false)
+  in
   let eval_rate = Metrics.hit_rate (Metrics.cache "env.eval") in
-  (size, wall, outcome, eval_rate)
+  (size, cold_wall, warm_wall, identical, outcome, eval_rate)
 
 let bench_jobs () =
   let n = ref 4 in
@@ -522,6 +540,25 @@ let bench_jobs () =
     Sys.argv;
   !n
 
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if line = "" then "unknown" else line
+  with _ -> "unknown"
+
+let utc_date () =
+  let t = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+    t.Unix.tm_sec
+
+(* Total artifact-store hits in a job's metrics snapshot: the cache
+   cells are exactly the per-store stats the stores register. *)
+let artifact_hits (snap : Metrics.snapshot) =
+  List.fold_left (fun acc (_, (hits, _)) -> acc + hits) 0 snap.caches
+
 let bench_pipeline () =
   sep "Pipeline metrics per registry kernel (BENCH_pipeline.json)";
   let h = 4 in
@@ -529,22 +566,29 @@ let bench_pipeline () =
   let failed = ref false in
   let buf = Buffer.create 8192 in
   Buffer.add_string buf
-    (Printf.sprintf "{\"schema\":\"bench_pipeline/1\",\"h\":%d,\"kernels\":{" h);
+    (Printf.sprintf
+       "{\"schema\":\"bench_pipeline/2\",\"rev\":\"%s\",\"date\":\"%s\",\"h\":%d,\"kernels\":{"
+       (Metrics.json_escape (git_rev ()))
+       (Metrics.json_escape (utc_date ()))
+       h);
   Printf.printf "(pool: %d workers)\n" jobs;
-  Printf.printf "%-10s %10s %10s %9s  %s\n" "kernel" "wall ms" "env.eval"
-    "degraded" "error";
-  let emit i name ~size ~wall ~degraded ~error ~metrics_json ~eval_rate =
+  Printf.printf "%-10s %10s %10s %10s %9s  %s\n" "kernel" "cold ms" "warm ms"
+    "env.eval" "degraded" "error";
+  let emit i name ~size ~cold ~warm ~identical ~degraded ~error ~metrics_json
+      ~eval_rate ~hits =
     if i > 0 then Buffer.add_char buf ',';
     if error <> None then failed := true;
-    Printf.printf "%-10s %10.1f %9.1f%% %9b  %s\n%!" name (1000. *. wall)
+    Printf.printf "%-10s %10.1f %10.1f %9.1f%% %9b  %s\n%!" name
+      (1000. *. cold) (1000. *. warm)
       (100. *. eval_rate) degraded
       (Option.value error ~default:"-");
     Buffer.add_string buf
       (Printf.sprintf
-         "\"%s\":{\"size\":%d,\"wall_seconds\":%s,\"degraded\":%b,\"error\":%s,\"metrics\":%s}"
+         "\"%s\":{\"size\":%d,\"cold_wall_seconds\":%s,\"warm_wall_seconds\":%s,\"warm_report_identical\":%b,\"artifact_hits\":%d,\"degraded\":%b,\"error\":%s,\"metrics\":%s}"
          (Metrics.json_escape name) size
-         (Metrics.json_float wall)
-         degraded
+         (Metrics.json_float cold)
+         (Metrics.json_float warm)
+         identical hits degraded
          (match error with
          | None -> "null"
          | Some m -> "\"" ^ Metrics.json_escape m ^ "\"")
@@ -555,28 +599,32 @@ let bench_pipeline () =
     let name = List.nth names i in
     match outcome with
     | Core.Pool.Done d ->
-        let size, wall, res, eval_rate = d.value in
+        let size, cold, warm, identical, res, eval_rate = d.value in
         let degraded, error =
           match res with Ok dg -> (dg, None) | Error m -> (false, Some m)
         in
-        emit i name ~size ~wall ~degraded ~error
+        emit i name ~size ~cold ~warm ~identical ~degraded ~error
           ~metrics_json:(Metrics.to_json d.metrics) ~eval_rate
+          ~hits:(artifact_hits d.metrics)
     | Core.Pool.Failed { attempts; reasons } ->
-        emit i name ~size:0 ~wall:0. ~degraded:false
+        emit i name ~size:0 ~cold:0. ~warm:0. ~identical:false ~degraded:false
           ~error:
             (Some
                (Printf.sprintf "job lost after %d attempts: %s" attempts
                   (String.concat "; " reasons)))
-          ~metrics_json:"{}" ~eval_rate:0.
+          ~metrics_json:"{}" ~eval_rate:0. ~hits:0
   in
   let _outcomes, _merged =
     Core.Pool.map ~workers:jobs ~f:bench_worker ~stream names
   in
   Buffer.add_string buf "}}\n";
-  let oc = open_out "BENCH_pipeline.json" in
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_pipeline.json"
+  in
   Buffer.output_buffer oc buf;
   close_out oc;
-  Printf.printf "wrote BENCH_pipeline.json (%d kernels)\n" (List.length names);
+  Printf.printf "appended to BENCH_pipeline.json (%d kernels)\n"
+    (List.length names);
   if !failed then begin
     Printf.eprintf "bench_pipeline: at least one kernel pipeline errored\n";
     exit 1

@@ -86,10 +86,17 @@ let profile_json_arg =
   Arg.(
     value & opt (some string) None & info [ "profile-json" ] ~docv:"FILE" ~doc)
 
+let cache_stats_arg =
+  let doc =
+    "Print the artifact cache registry (per-store entries, hit/miss counts, \
+     volatility, evictions) as a table on stderr when the command exits."
+  in
+  Arg.(value & flag & info [ "cache-stats" ] ~doc)
+
 (* Emission happens in [at_exit] because the exit-code contract above
    leaves commands through [exit] at many points (degraded runs exit 2
    from [finish]); the profile must still be written on those paths. *)
-let install_profile profile json_file =
+let install_profile profile json_file cache_stats =
   if profile || json_file <> None then
     at_exit (fun () ->
         let snap = Core.Metrics.snapshot () in
@@ -101,9 +108,15 @@ let install_profile profile json_file =
             let oc = open_out path in
             output_string oc (Core.Metrics.to_json snap);
             output_char oc '\n';
-            close_out oc)
+            close_out oc);
+  if cache_stats then
+    at_exit (fun () ->
+        prerr_string (Core.Artifact.report ());
+        flush stderr)
 
-let profile_term = Term.(const install_profile $ profile_arg $ profile_json_arg)
+let profile_term =
+  Term.(
+    const install_profile $ profile_arg $ profile_json_arg $ cache_stats_arg)
 
 let with_entry name size f =
   match Codes.Registry.find name with
@@ -575,7 +588,7 @@ let batch_cmd =
           failed := true
     in
     let _outcomes, merged =
-      Core.Pool.map ~workers:jobs ~f:batch_worker ~stream job_list
+      Core.Pool.map ~workers:jobs ~f:batch_worker ~stream ~diags job_list
     in
     (* Fold the workers' per-job snapshots into the parent registry so
        the at_exit --profile/--profile-json report is fleet-wide. *)

@@ -1,0 +1,5 @@
+(* Pipeline-level alias: the unified artifact cache lives at the bottom
+   of the stack (lib/symbolic) because Range/Probe/Env store into it,
+   but callers above the pipeline address it as [Core.Artifact], like
+   [Core.Metrics]. *)
+include Symbolic.Artifact

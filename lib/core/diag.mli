@@ -28,6 +28,9 @@
     - [POOL-WORKER-LOST]: a batch worker process died mid-job (signal
       or unclean exit); the job was retried on a freshly forked worker
       (or, past the retry budget, reported as permanently failed);
+    - [POOL-PROFILE-BAD]: a batch worker's metrics profile did not
+      parse; the job's value is kept and its profile degrades to an
+      empty snapshot (warning severity);
     - [COMM-SIZE]: an array size would not evaluate while generating
       the communication schedule (the array's messages are omitted);
     - [FAULT-INJECTED], [FAULT-UNRECOVERED]: fault-injection summary /

@@ -90,8 +90,15 @@ let worker_loop ~f job_r res_w =
     match recv job_r with
     | None | Some Stop -> ()
     | Some (Job (idx, attempt, payload)) ->
+        (* Per-job reset protocol (DESIGN.md section 14): zero the
+           metric cells, drop every artifact store, and drop the
+           expression intern table, so a job's result and profile are
+           identical whichever worker runs it and whatever ran on that
+           worker before.  [with_seed] below additionally pins the
+           probe stream to the job index. *)
         Metrics.reset ();
-        Metrics.clear_caches ();
+        Artifact.clear_all ();
+        Expr.intern_reset ();
         let result =
           Probe.with_seed (job_seed idx) (fun () ->
               try Ok (f ~attempt payload)
@@ -161,7 +168,9 @@ let crash_counter = Metrics.counter "pool.worker_lost"
 let retry_counter = Metrics.counter "pool.retries"
 let pool_timer = Metrics.timer "pool.map"
 
-let map ?(workers = 4) ?(retries = 1) ?stream ~f jobs =
+let profile_bad_counter = Metrics.counter "pool.profile_bad"
+
+let map ?(workers = 4) ?(retries = 1) ?stream ?diags ~f jobs =
   let jobs_a = Array.of_list jobs in
   let nj = Array.length jobs_a in
   if nj = 0 then ([], empty_snapshot)
@@ -262,8 +271,21 @@ let map ?(workers = 4) ?(retries = 1) ?stream ~f jobs =
                 match result with
                 | Ok value ->
                     let metrics =
+                      (* A malformed profile never kills the parent:
+                         the job's value stands, the profile degrades
+                         to empty and the corruption is surfaced. *)
                       try Metrics.of_json mjson
-                      with Failure _ -> empty_snapshot
+                      with Metrics.Parse_error msg ->
+                        Metrics.incr profile_bad_counter;
+                        (match diags with
+                        | Some c ->
+                            Diag.addf c ~severity:Diag.Warning
+                              ~stage:Diag.Pool ~code:"POOL-PROFILE-BAD"
+                              "job %d: worker profile unreadable (%s); \
+                               profile dropped"
+                              idx msg
+                        | None -> ());
+                        empty_snapshot
                     in
                     record idx
                       (Done

@@ -49,6 +49,7 @@ val map :
   ?workers:int ->
   ?retries:int ->
   ?stream:(int -> 'b outcome -> unit) ->
+  ?diags:Diag.collector ->
   f:(attempt:int -> 'a -> 'b) ->
   'a list ->
   'b outcome list * Metrics.snapshot
@@ -65,4 +66,14 @@ val map :
 
     [stream] is called in the parent, in submission order, as the
     completed prefix grows - the CLI uses it to print reports
-    incrementally without ever reordering them. *)
+    incrementally without ever reordering them.
+
+    Every job starts from a reset worker state (metric cells zeroed,
+    artifact stores and the expression intern table dropped, probe
+    stream seeded from the job index), so results are byte-identical
+    whatever the worker count or scheduling order.
+
+    A worker whose profile JSON does not parse degrades to an empty
+    snapshot for that job: the job's value is kept, the
+    [pool.profile_bad] counter is bumped, and - when [diags] is
+    supplied - a [POOL-PROFILE-BAD] warning is recorded. *)

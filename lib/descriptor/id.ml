@@ -40,6 +40,35 @@ let of_pd (pd : Pd.t) : t =
     exact = pd.exact;
   }
 
+(* Like [Pd.key]: the projected content without [ctx] (callers whose
+   cached values consult the context - symmetry's write checks - fold
+   [Ir.Phase.key] into their own keys). *)
+let row_key (r : row) =
+  Artifact.Key.(
+    list
+      [
+        list (List.map expr r.seq_alphas);
+        expr r.offset0;
+        expr r.par_stride;
+        int r.par_sign;
+        expr r.span_seq;
+        list [ bool r.mix.Access_mix.reads; bool r.mix.Access_mix.writes ];
+      ])
+
+let group_key (g : group) =
+  Artifact.Key.(
+    list
+      [
+        list (List.map Pd.dim_key g.seq_dims);
+        list (List.map row_key g.rows);
+      ])
+
+let key (t : t) =
+  Artifact.Key.(
+    list [ str t.array; list (List.map group_key t.groups); bool t.exact ])
+
+let digest t = Artifact.Key.hash (key t)
+
 let offset_at r ~i =
   Expr.add r.offset0
     (Expr.mul (Expr.int r.par_sign) (Expr.mul r.par_stride i))

@@ -56,29 +56,21 @@ let addresses_raw env (t : Pd.t) ~par =
 (* Whole-descriptor enumeration is re-requested with identical arguments
    by the halo computation, the ILP word counts and the simulator's
    sizing; keyed on the environment identity (never its bindings - see
-   DESIGN.md section 12) the second and later calls are table lookups.
-   Callers receive the cached table itself and must not mutate it. *)
-let memo : (int * Pd.t * int option, (int, unit) Hashtbl.t) Hashtbl.t =
-  Hashtbl.create 64
+   DESIGN.md section 12) plus the PD's structural key, the second and
+   later calls are table lookups.  The store is non-volatile: addresses
+   are a pure function of (environment, descriptor).  Callers receive
+   the cached table itself and must not mutate it. *)
+let memo : (int, unit) Hashtbl.t Artifact.store =
+  Artifact.store ~capacity:4_096 "region.addresses"
 
-let memo_stats = Metrics.cache "region.addresses"
 let addresses_timer = Metrics.timer "region.enumerate"
-let () = Metrics.register_clearer (fun () -> Hashtbl.reset memo)
 
 let addresses env (t : Pd.t) ~par =
-  let key = (Env.id env, t, par) in
-  match Hashtbl.find_opt memo key with
-  | Some tbl ->
-      Metrics.hit memo_stats;
-      tbl
-  | None ->
-      Metrics.miss memo_stats;
-      if Hashtbl.length memo > 4_096 then Hashtbl.reset memo;
-      let tbl =
-        Metrics.with_timer addresses_timer (fun () -> addresses_raw env t ~par)
-      in
-      Hashtbl.add memo key tbl;
-      tbl
+  let key =
+    Artifact.Key.(list [ int (Env.id env); Pd.key t; opt int par ])
+  in
+  Artifact.find memo key (fun () ->
+      Metrics.with_timer addresses_timer (fun () -> addresses_raw env t ~par))
 
 let sorted tbl =
   Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare

@@ -30,7 +30,7 @@ let pairs (id : Id.t) =
   in
   go tagged
 
-let analyze (id : Id.t) : t =
+let analyze_raw (id : Id.t) : t =
   let asm = id.ctx.assume in
   let shifted = ref [] and reverse = ref [] in
   List.iter
@@ -229,6 +229,21 @@ let analyze (id : Id.t) : t =
     overlap;
     write_overlap;
   }
+
+(* [analyze] is re-entered for the same ID by the locality graph builder
+   and again by [has_overlap]/[has_write_overlap] during modelling; the
+   verdict depends on sampled environments, so the store is volatile
+   (flushed when the probe stream is re-seeded).  The ID's structural
+   key alone is not enough - the verdict also reads the analysis
+   context (assumptions, parallel dimension, enumeration oracle), so
+   the phase key is folded in. *)
+let memo : t Artifact.store =
+  Artifact.store ~capacity:4_096 ~volatile:true "symmetry.analyze"
+
+let analyze (id : Id.t) : t =
+  Artifact.find memo
+    Artifact.Key.(list [ Ir.Phase.key id.ctx; Id.key id ])
+    (fun () -> analyze_raw id)
 
 let has_overlap id = (analyze id).overlap <> No_overlap
 let has_write_overlap id = (analyze id).write_overlap

@@ -151,15 +151,9 @@ let solve (model : Model.t) (m : Cost.machine) : result =
       lcg.graphs;
     fun a -> Hashtbl.mem tbl a
   in
-  let halo_cache = Hashtbl.create 16 in
-  let halo_of array (nd : Lcg.node) =
-    match Hashtbl.find_opt halo_cache (array, nd.phase_idx) with
-    | Some v -> v
-    | None ->
-        let v = Lcg.halo lcg nd in
-        Hashtbl.add halo_cache (array, nd.phase_idx) v;
-        v
-  in
+  (* [Lcg.halo] is artifact-cached on (env, descriptor, overlap), so
+     the per-candidate pricing below hits the shared store directly. *)
+  let halo_of _array (nd : Lcg.node) = Lcg.halo lcg nd in
   let d_cost_of k p =
     match nodes_of_phase k with
     | [] -> 0.0

@@ -34,6 +34,10 @@ let iter (prog : program) (env : Env.t) (ph : phase) ~f =
     in
     go idx dims
   in
+  (* The loop below rebinds [env] once per iteration; those bindings
+     die with the iteration, so they must not insert into the global
+     evaluation store (DESIGN.md section 14). *)
+  let env = Env.ephemeral env in
   let rec walk env par = function
     | Assign a ->
         List.iteri

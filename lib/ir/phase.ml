@@ -17,12 +17,11 @@ type t = {
 exception Invalid_phase of string
 
 (* Phase analysis is a pure function of the program and phase syntax
-   (no environment, no probe stream), so results are cached on the
-   structural pair.  The LCG builder re-analyzes every phase for every
-   array of the program; with the cache each phase is walked once. *)
-let cache : (program * phase, t) Hashtbl.t = Hashtbl.create 64
-let cache_stats = Symbolic.Metrics.cache "phase.analyze"
-let () = Symbolic.Metrics.register_clearer (fun () -> Hashtbl.reset cache)
+   (no environment, no probe stream), so results live in a non-volatile
+   artifact store keyed on the structural pair.  The LCG builder
+   re-analyzes every phase for every array of the program; with the
+   cache each phase is walked once. *)
+let cache : t Artifact.store = Artifact.store ~capacity:512 "phase.analyze"
 
 let analyze_raw (prog : program) (ph : phase) : t =
   let ph = Normalize.phase ph in
@@ -61,17 +60,11 @@ let analyze_raw (prog : program) (ph : phase) : t =
   { prog; phase = ph; loops; par; sites; assume }
 
 let analyze (prog : program) (ph : phase) : t =
-  let key = (prog, ph) in
-  match Hashtbl.find_opt cache key with
-  | Some t ->
-      Symbolic.Metrics.hit cache_stats;
-      t
-  | None ->
-      Symbolic.Metrics.miss cache_stats;
-      if Hashtbl.length cache > 512 then Hashtbl.reset cache;
-      let t = analyze_raw prog ph in
-      Hashtbl.add cache key t;
-      t
+  Artifact.find cache
+    (Artifact.Key.list [ program_key prog; phase_key ph ])
+    (fun () -> analyze_raw prog ph)
+
+let key (t : t) = Artifact.Key.list [ program_key t.prog; phase_key t.phase ]
 
 let sites_of_array t name =
   List.filter (fun s -> String.equal s.ref_.array name) t.sites

@@ -38,6 +38,10 @@ val analyze : program -> phase -> t
     @raise Invalid_phase when more than one loop is parallel or an
     array is undeclared. *)
 
+val key : t -> Artifact.Key.t
+(** [program_key prog; phase_key phase] - the context's identity for
+    caches whose values depend on the analyzed phase. *)
+
 val sites_of_array : t -> string -> site list
 val loop_index : t -> string -> int
 (** Position of a loop var in [loops]. @raise Not_found otherwise. *)

@@ -79,6 +79,53 @@ let pp_program ppf p =
     (Format.pp_print_list pp_phase)
     p.phases
 
+(* Artifact cache keys over the syntax: a faithful structural encoding
+   (interned expression leaves), so caches keyed on programs/phases are
+   collision-free without hashing whole syntax trees per lookup. *)
+let access_key = function
+  | Read -> Artifact.Key.int 0
+  | Write -> Artifact.Key.int 1
+
+let ref_key (r : array_ref) =
+  Artifact.Key.(
+    list [ str r.array; list (List.map expr r.index); access_key r.access ])
+
+let rec stmt_key = function
+  | Assign a ->
+      Artifact.Key.(
+        list [ int 0; list (List.map ref_key a.refs); int a.work ])
+  | Loop l -> Artifact.Key.(list [ int 1; loop_key l ])
+
+and loop_key (l : loop) =
+  Artifact.Key.(
+    list
+      [
+        str l.var;
+        expr l.lo;
+        expr l.hi;
+        expr l.step;
+        bool l.parallel;
+        list (List.map stmt_key l.body);
+      ])
+
+let phase_key (ph : phase) =
+  Artifact.Key.(list [ str ph.phase_name; loop_key ph.nest ])
+
+let program_key (p : program) =
+  Artifact.Key.(
+    list
+      [
+        str p.prog_name;
+        Assume.key p.params;
+        list
+          (List.map
+             (fun (a : array_decl) ->
+               list [ str a.name; list (List.map expr a.dims) ])
+             p.arrays);
+        list (List.map phase_key p.phases);
+        bool p.repeats;
+      ])
+
 let array_decl p name = List.find (fun (a : array_decl) -> String.equal a.name name) p.arrays
 
 let rec stmt_refs = function

@@ -55,6 +55,12 @@ type program = {
           back edge from the last phase to the first) *)
 }
 
+val phase_key : phase -> Artifact.Key.t
+val program_key : program -> Artifact.Key.t
+(** Faithful structural {!Symbolic.Artifact} cache keys over the syntax
+    (interned expression leaves), used by every cache keyed on a program
+    or phase. *)
+
 val equal_access : access -> access -> bool
 val pp_access : Format.formatter -> access -> unit
 val pp_ref : Format.formatter -> array_ref -> unit

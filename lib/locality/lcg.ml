@@ -39,7 +39,7 @@ let build_timer = Metrics.timer "lcg.build"
 let classify_timer = Metrics.timer "lcg.classify"
 let edge_count = Metrics.counter "table1.edges"
 
-let build (prog : Types.program) ~env ~h : t =
+let build_raw (prog : Types.program) ~env ~h : t =
   Metrics.with_timer build_timer @@ fun () ->
   let attrs = Liveness.attrs prog ~envs:[ env ] in
   let phase_ctxs =
@@ -132,6 +132,19 @@ let build (prog : Types.program) ~env ~h : t =
   in
   { prog; env; h; graphs }
 
+(* The full graph build (descriptors, symmetry, Table 1 classification)
+   is by far the most expensive pipeline stage, and the registry sweep,
+   the H-sensitivity scan and the simulator all rebuild the same
+   (program, environment, halo) triple.  Edge labels rest on probed
+   verdicts, so the store is volatile. *)
+let build_memo : t Artifact.store =
+  Artifact.store ~capacity:256 ~volatile:true "lcg.graph"
+
+let build (prog : Types.program) ~env ~h : t =
+  Artifact.find build_memo
+    Artifact.Key.(list [ Types.program_key prog; int (Env.id env); int h ])
+    (fun () -> build_raw prog ~env ~h)
+
 let chains (g : graph) =
   let n = List.length g.nodes in
   if n = 0 then []
@@ -154,7 +167,7 @@ let chains (g : graph) =
 let node_of_phase (g : graph) ~phase_idx =
   List.find_opt (fun n -> n.phase_idx = phase_idx) g.nodes
 
-let halo (t : t) (node : node) =
+let halo_raw (t : t) (node : node) =
   match node.sym.overlap with
   | Symmetry.No_overlap -> 0
   | Symmetry.Overlap _ | Symmetry.Overlap_unknown -> (
@@ -168,6 +181,25 @@ let halo (t : t) (node : node) =
         let _, ul0 = bounds 0 and lb1, _ = bounds 1 in
         if ul0 = min_int || lb1 = max_int then 0 else max 0 (ul0 - lb1 + 1)
       with Region.Not_rectangular _ | Expr.Non_integral _ | Env.Unbound _ -> 0)
+
+(* The solver's word-count pricing asks for the same node's halo once
+   per enumerated candidate; keyed on the overlap verdict (probed,
+   hence volatile) plus the environment and descriptor that determine
+   the region bounds. *)
+let halo_memo : int Artifact.store =
+  Artifact.store ~capacity:4_096 ~volatile:true "lcg.halo"
+
+let overlap_key = function
+  | Symmetry.No_overlap -> Artifact.Key.int 0
+  | Symmetry.Overlap e -> Artifact.Key.(list [ int 1; expr e ])
+  | Symmetry.Overlap_unknown -> Artifact.Key.int 2
+
+let halo (t : t) (node : node) =
+  Artifact.find halo_memo
+    Artifact.Key.(
+      list
+        [ int (Env.id t.env); Pd.key node.pd; overlap_key node.sym.overlap ])
+    (fun () -> halo_raw t node)
 
 let pp ppf (t : t) =
   Format.fprintf ppf "@[<v>LCG (H=%d, %a)@," t.h Env.pp t.env;

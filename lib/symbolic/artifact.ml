@@ -1,0 +1,169 @@
+(* The unified artifact cache: one digest-keyed, bounded, generation-
+   aware store family replacing the ad-hoc memo Hashtbls that used to
+   live in Range, Probe, Phase, Region, Symmetry, Lcg and Solve.
+
+   Keys are small trees whose leaves are ints, strings and *interned*
+   expressions, so key equality is O(key size) with O(1) expression
+   leaves, and key hashing reuses the expressions' precomputed
+   structural digests.  Collisions are therefore impossible by
+   construction - the digest only accelerates bucketing.
+
+   Invalidation is by generation, not by per-table flush hooks: stores
+   created [~volatile:true] hold values that depend on the probe stream
+   and are dropped (lazily, on next access) whenever the global
+   generation advances - [Probe.with_seed] advances it on entry and
+   exit.  Non-volatile stores hold values that are pure functions of
+   their key (an [Env.id] in the key ties environment-dependent values
+   to one immutable environment) and survive re-seeding; [clear_all]
+   drops everything, which is what a pool worker does between jobs. *)
+
+module Key = struct
+  type t = I of int | S of string | E of Expr.t | L of int * t list
+
+  let mix h k = (((h * 0x01000193) lxor k) land max_int : int)
+
+  let hash = function
+    | I n -> mix 3 n
+    | S s -> mix 5 (Hashtbl.hash s)
+    | E e -> mix 7 (Expr.digest e)
+    | L (h, _) -> h
+
+  let int n = I n
+  let bool b = I (if b then 1 else 0)
+  let str s = S s
+  let expr e = E e
+  let list l = L (List.fold_left (fun h k -> mix h (hash k)) 11 l, l)
+  let opt f = function None -> I 0 | Some x -> list [ f x ]
+
+  let rec equal a b =
+    match (a, b) with
+    | I a, I b -> Int.equal a b
+    | S a, S b -> String.equal a b
+    | E a, E b -> Expr.equal a b
+    | L (ha, la), L (hb, lb) -> Int.equal ha hb && list_equal la lb
+    | (I _ | S _ | E _ | L _), _ -> false
+
+  and list_equal a b =
+    match (a, b) with
+    | [], [] -> true
+    | x :: xs, y :: ys -> equal x y && list_equal xs ys
+    | _, _ -> false
+end
+
+module KT = Hashtbl.Make (Key)
+
+let generation = ref 0
+
+type 'v store = {
+  name : string;
+  capacity : int;
+  volatile : bool;
+  stats : Metrics.cache;
+  tbl : 'v KT.t;
+  mutable gen : int;  (* generation at last sync *)
+  mutable evictions : int;  (* whole-table drops on capacity overflow *)
+}
+
+type stat = {
+  s_name : string;
+  entries : int;
+  capacity : int;
+  volatile : bool;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+(* The registry erases the value type so [clear_all] / [stats] can walk
+   every store created anywhere in the process. *)
+type registered = { r_stat : unit -> stat; r_clear : unit -> unit }
+
+let registry : registered list ref = ref []
+
+let store ?(capacity = 65_536) ?(volatile = false) name =
+  let s =
+    {
+      name;
+      capacity;
+      volatile;
+      stats = Metrics.cache name;
+      tbl = KT.create 256;
+      gen = !generation;
+      evictions = 0;
+    }
+  in
+  registry :=
+    {
+      r_stat =
+        (fun () ->
+          {
+            s_name = name;
+            entries = KT.length s.tbl;
+            capacity;
+            volatile;
+            hits = Metrics.hits s.stats;
+            misses = Metrics.misses s.stats;
+            evictions = s.evictions;
+          });
+      r_clear =
+        (fun () ->
+          KT.reset s.tbl;
+          s.gen <- !generation);
+    }
+    :: !registry;
+  s
+
+let sync (s : _ store) =
+  if s.volatile && s.gen <> !generation then begin
+    KT.reset s.tbl;
+    s.gen <- !generation
+  end
+
+let find (s : _ store) key compute =
+  sync s;
+  match KT.find_opt s.tbl key with
+  | Some v ->
+      Metrics.hit s.stats;
+      v
+  | None ->
+      Metrics.miss s.stats;
+      let g = !generation in
+      let v = compute () in
+      (* If the generation moved during the computation (a nested
+         [with_seed] scope), a volatile value was computed under a seed
+         this store no longer represents: return it but don't keep it. *)
+      if not (s.volatile && !generation <> g) then begin
+        if KT.length s.tbl >= s.capacity then begin
+          KT.reset s.tbl;
+          s.evictions <- s.evictions + 1
+        end;
+        KT.replace s.tbl key v
+      end;
+      v
+
+let new_generation () = incr generation
+
+let clear_all () =
+  incr generation;
+  List.iter (fun r -> r.r_clear ()) !registry
+
+let stats () =
+  List.sort
+    (fun a b -> String.compare a.s_name b.s_name)
+    (List.map (fun r -> r.r_stat ()) !registry)
+
+let pp_stats ppf () =
+  Format.fprintf ppf "%-24s %9s %9s %9s %9s %8s %5s %9s@," "artifact store"
+    "entries" "capacity" "hits" "misses" "rate" "vol" "evicted";
+  List.iter
+    (fun st ->
+      let total = st.hits + st.misses in
+      Format.fprintf ppf "%-24s %9d %9d %9d %9d %7.1f%% %5s %9d@," st.s_name
+        st.entries st.capacity st.hits st.misses
+        (if total = 0 then 0.0
+         else 100. *. float_of_int st.hits /. float_of_int total)
+        (if st.volatile then "yes" else "no")
+        st.evictions)
+    (stats ())
+
+let report () = Format.asprintf "@[<v>%a@]" pp_stats ()

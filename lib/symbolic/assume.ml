@@ -12,6 +12,17 @@ let to_list t = t
 let vars t = List.map fst t
 let domain_of t v = List.assoc_opt v t
 
+let domain_key = function
+  | Int_range (lo, hi) -> Artifact.Key.(list [ int 0; int lo; int hi ])
+  | Pow2_of w -> Artifact.Key.(list [ int 1; str w ])
+  | Expr_range (lo, hi) -> Artifact.Key.(list [ int 2; expr lo; expr hi ])
+
+let key t =
+  Artifact.Key.list
+    (List.map
+       (fun (v, d) -> Artifact.Key.(list [ str v; domain_key d ]))
+       t)
+
 let set_domain t v d =
   if List.mem_assoc v t then
     List.map (fun (w, old) -> if String.equal w v then (w, d) else (w, old)) t
@@ -38,7 +49,7 @@ let sample ?state t =
         | Expr_range (lo, hi) -> pick (Env.eval env lo) (Env.eval env hi)
       in
       Env.add v value env)
-    Env.empty t
+    (Env.ephemeral Env.empty) t
 
 let pp_domain ppf = function
   | Int_range (lo, hi) -> Format.fprintf ppf "[%d..%d]" lo hi

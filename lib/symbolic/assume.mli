@@ -24,6 +24,10 @@ val to_list : t -> (string * domain) list
 val vars : t -> string list
 val domain_of : t -> string -> domain option
 
+val key : t -> Artifact.Key.t
+(** Stable {!Artifact} cache key covering the whole declaration list
+    (order-sensitive, like sampling). *)
+
 val set_domain : t -> string -> domain -> t
 (** Replace a variable's domain in place (preserving order); appends
     when absent. *)

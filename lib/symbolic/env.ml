@@ -1,24 +1,31 @@
 module M = Map.Make (String)
 
-(* Each environment carries a unique [id] (the memo-coherence key other
-   caches use: see DESIGN.md section 12) and its own expression-value
-   memo.  The memo lives *inside* the environment, so cached values can
-   never be confused between bindings and die with the environment -
-   short-lived sampled environments cost nothing globally. *)
-type t = { map : int M.t; id : int; memo : (Expr.t, Qnum.t) Hashtbl.t }
+(* Each environment carries a unique [id]: the memo-coherence key every
+   cache uses (see DESIGN.md sections 12 and 14).  Environments are
+   immutable, so an (id, expr) artifact key can never alias between
+   bindings.
+
+   [ephemeral] marks environments that live shorter than a cache entry
+   is worth: probe samples and the enumerator's per-iteration bindings.
+   Their evaluations bypass the global store - inserting them would
+   promote megabytes of short-lived keys to the major heap and evict
+   the durable entries the warm path depends on.  The flag is sticky
+   across [add] so a whole derivation chain opts out at its root. *)
+type t = { map : int M.t; id : int; ephemeral : bool }
 
 exception Unbound of string
 
 let next_id = ref 0
 
-let make map =
+let make ?(ephemeral = false) map =
   incr next_id;
-  { map; id = !next_id; memo = Hashtbl.create 16 }
+  { map; id = !next_id; ephemeral }
 
 let empty = make M.empty
 let of_list l = make (List.fold_left (fun m (k, v) -> M.add k v m) M.empty l)
-let add k v t = make (M.add k v t.map)
+let add k v t = make ~ephemeral:t.ephemeral (M.add k v t.map)
 let id t = t.id
+let ephemeral t = if t.ephemeral then t else make ~ephemeral:true t.map
 
 let find env v =
   match M.find_opt v env.map with Some x -> x | None -> raise (Unbound v)
@@ -28,21 +35,24 @@ let mem env v = M.mem v env.map
 let bindings env = M.bindings env.map
 let lookup env v = Qnum.of_int (find env v)
 
-let eval_stats = Metrics.cache "env.eval"
+(* Evaluation is a pure function of (environment, expression), so the
+   store is non-volatile; only successful evaluations are cached - an
+   evaluation that raises (unbound variable, fractional Pow2 exponent)
+   recomputes and the exception propagates unchanged. *)
+let eval_store : Qnum.t Artifact.store =
+  Artifact.store ~capacity:131_072 "env.eval"
 
-(* Only successful evaluations are cached; an evaluation that raises
-   (unbound variable, fractional Pow2 exponent) recomputes - those are
-   rare and the exception must propagate unchanged. *)
+let uncached_count = Metrics.counter "env.eval_uncached"
+
 let eval_q env e =
-  match Hashtbl.find_opt env.memo e with
-  | Some v ->
-      Metrics.hit eval_stats;
-      v
-  | None ->
-      Metrics.miss eval_stats;
-      let v = Expr.eval (lookup env) e in
-      Hashtbl.add env.memo e v;
-      v
+  if env.ephemeral then begin
+    Metrics.incr uncached_count;
+    Expr.eval (lookup env) e
+  end
+  else
+    Artifact.find eval_store
+      Artifact.Key.(list [ int env.id; expr e ])
+      (fun () -> Expr.eval (lookup env) e)
 
 let eval env e =
   let v = eval_q env e in

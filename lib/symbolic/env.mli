@@ -22,6 +22,13 @@ val id : t -> int
     two environments with equal bindings still have distinct cache
     lines - the memo-coherence argument of DESIGN.md section 12. *)
 
+val ephemeral : t -> t
+(** A copy (fresh id) whose evaluations bypass the global artifact
+    store, as do those of every environment derived from it via {!add}.
+    Mark environments that die quickly and in bulk - probe samples, the
+    enumerator's per-iteration bindings - so they do not churn the
+    store or drag short-lived cache entries into the major heap. *)
+
 val lookup : t -> string -> Qnum.t
 (** Shape expected by {!Expr.eval}. *)
 

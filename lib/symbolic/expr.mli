@@ -1,4 +1,4 @@
-(** Symbolic expressions in canonical sum-of-monomials form.
+(** Hash-consed symbolic expressions in canonical sum-of-monomials form.
 
     The expression class covers everything the paper's descriptors need:
     polynomials over parameters and loop indices with rational
@@ -12,20 +12,53 @@
     pairs; a monomial is a sorted list of (atom, integer exponent)
     pairs; all [2^e] factors of a monomial are fused into a single
     [Pow2] atom whose exponent has no constant term (the constant is
-    folded into the coefficient).  Two expressions denoting the same
-    polynomial-exponential function therefore compare structurally
-    equal whenever the rewrite rules suffice; [Probe] supplies the
-    randomized fallback for the residual cases. *)
+    folded into the coefficient).
 
-type atom =
-  | Var of string
-  | Pow2 of t  (** [2^e]; invariant: [e] is non-constant with zero constant term *)
-  | Floor_div of t * t  (** [floor (a / b)] where exact division failed *)
-  | Ceil_div of t * t  (** [ceil (a / b)] where exact division failed *)
-  | Opaque_div of t * t  (** [a / b] asserted exact but irreducible *)
+    Values are {e interned}: within one intern generation, structurally
+    equal expressions are physically equal, so [equal] is O(1) and every
+    value carries a stable structural [digest] suitable for cache keys.
+    [Probe] supplies the randomized fallback for semantic equalities the
+    rewrite rules cannot see. *)
 
-and mono = (atom * int) list
-and t = (mono * Qnum.t) list
+type t
+(** Abstract; construct via the functions below.  Every value carries a
+    unique id and a precomputed structural hash. *)
+
+(** {1 Identity} *)
+
+val id : t -> int
+(** Unique per interned value, monotonically increasing, never reused
+    (even across {!intern_reset}).  Ids depend on construction history;
+    never persist them - use {!digest} for stable keys. *)
+
+val digest : t -> int
+(** Precomputed structural hash: deterministic across processes and
+    intern generations (depends only on the term, not on id order). *)
+
+val equal : t -> t -> bool
+(** Physical equality, with a hash-gated structural fallback that only
+    fires for duplicates surviving an {!intern_reset}.  Agrees with
+    {!structural_equal} on all inputs. *)
+
+val compare : t -> t -> int
+(** Total order identical to {!structural_compare} (the historical
+    structural ordering), short-circuiting on physical equality. *)
+
+val structural_equal : t -> t -> bool
+val structural_compare : t -> t -> int
+(** Pure structural reference implementations (no interning shortcuts);
+    the qcheck suite pins [equal]/[compare] against these. *)
+
+(** {1 Intern state} *)
+
+val intern_size : unit -> int
+(** Number of live interned expressions in the current generation. *)
+
+val intern_reset : unit -> unit
+(** Drop the intern table (pool workers call this per job so intern
+    state stays bounded and history-free).  The id counter is {e not}
+    reset: expressions created before the reset remain valid and compare
+    correctly against post-reset values, they just lose sharing. *)
 
 (** {1 Constructors} *)
 
@@ -48,20 +81,20 @@ val pow2 : t -> t
 val div : t -> t -> t
 (** Exact division.  Always reduces when the divisor is a single
     monomial (negative exponents are allowed); otherwise attempts
-    term-wise reduction and falls back to an [Opaque_div] atom. *)
+    term-wise reduction and falls back to an opaque-division atom. *)
 
 val floor_div : t -> t -> t
 val ceil_div : t -> t -> t
 
 (** {1 Inspection} *)
 
-val equal : t -> t -> bool
-val compare : t -> t -> int
 val is_zero : t -> bool
+
 val to_q : t -> Qnum.t option
 (** [Some c] iff the expression is the constant [c]. *)
 
 val to_int : t -> int option
+
 val const_part : t -> Qnum.t
 (** Coefficient of the empty monomial. *)
 

@@ -111,21 +111,13 @@ let add_time t s =
 let hit c = c.hits <- c.hits + 1
 let miss c = c.misses <- c.misses + 1
 
+let hits c = c.hits
+let misses c = c.misses
 let lookups c = c.hits + c.misses
 
 let hit_rate c =
   let n = lookups c in
   if n = 0 then 0.0 else float_of_int c.hits /. float_of_int n
-
-(* ------------------------------------------------------------------ *)
-(* Memo-table clearers.  The caches themselves live with their owning
-   modules (Probe, Range, Phase, Region); they register a flush
-   callback here so tests and the profiling drivers can force a cold
-   start without knowing every table. *)
-
-let clearers : (unit -> unit) list ref = ref []
-let register_clearer f = clearers := f :: !clearers
-let clear_caches () = List.iter (fun f -> f ()) !clearers
 
 let reset () =
   Hashtbl.iter
@@ -363,7 +355,10 @@ let to_json (s : snapshot) =
 (* JSON parsing - the inverse of [to_json], hand-rolled for the same
    no-dependency reason.  The pool workers ship their per-job snapshots
    over the result pipe as JSON text; the parent parses them back for
-   merging.  Malformed input raises [Failure]. *)
+   merging.  Malformed input raises [Parse_error], which the pool maps
+   to a POOL-PROFILE-BAD diagnostic instead of killing the parent. *)
+
+exception Parse_error of string
 
 type json =
   | Jnull
@@ -376,7 +371,9 @@ type json =
 let parse_json (s : string) : json =
   let n = String.length s in
   let pos = ref 0 in
-  let fail msg = failwith (Printf.sprintf "Metrics.of_json: %s at %d" msg !pos) in
+  let fail msg =
+    raise (Parse_error (Printf.sprintf "%s at %d" msg !pos))
+  in
   let peek () = if !pos >= n then fail "unexpected end" else s.[!pos] in
   let advance () = Stdlib.incr pos in
   let rec skip_ws () =
@@ -415,7 +412,11 @@ let parse_json (s : string) : json =
           | 'u' ->
               advance ();
               if !pos + 4 > n then fail "truncated \\u escape";
-              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              let code =
+                match int_of_string_opt ("0x" ^ String.sub s !pos 4) with
+                | Some c -> c
+                | None -> fail "bad \\u escape"
+              in
               pos := !pos + 4;
               (* cell names are ASCII; anything else round-trips as '?' *)
               Buffer.add_char buf
@@ -513,19 +514,24 @@ let parse_json (s : string) : json =
 let of_json (text : string) : snapshot =
   let fields = function
     | Jobj kvs -> kvs
-    | _ -> failwith "Metrics.of_json: object expected"
+    | _ -> raise (Parse_error "object expected")
   in
   let num = function
     | Jnum f -> f
     | Jnull -> 0.0 (* json_float maps NaN/infinities to null *)
-    | _ -> failwith "Metrics.of_json: number expected"
+    | _ -> raise (Parse_error "number expected")
   in
-  let int_field kvs k = int_of_float (num (List.assoc k kvs)) in
-  let float_field kvs k = num (List.assoc k kvs) in
+  let field kvs k =
+    match List.assoc_opt k kvs with
+    | Some v -> v
+    | None -> raise (Parse_error ("missing field " ^ k))
+  in
+  let int_field kvs k = int_of_float (num (field kvs k)) in
+  let float_field kvs k = num (field kvs k) in
   let section top name =
     match List.assoc_opt name top with
     | Some (Jobj kvs) -> kvs
-    | _ -> failwith ("Metrics.of_json: missing section " ^ name)
+    | _ -> raise (Parse_error ("missing section " ^ name))
   in
   let top = fields (parse_json text) in
   {

@@ -40,18 +40,11 @@ val add_time : timer -> float -> unit
 
 val hit : cache -> unit
 val miss : cache -> unit
+val hits : cache -> int
+val misses : cache -> int
 val lookups : cache -> int
 val hit_rate : cache -> float
 (** Hits over total lookups; [0.0] when the cache was never consulted. *)
-
-val register_clearer : (unit -> unit) -> unit
-(** Register a memo-table flush callback; the tables themselves live
-    with their owning modules. *)
-
-val clear_caches : unit -> unit
-(** Flush every registered memo table (cold-start for benchmarks and
-    the memo-coherence property tests).  Does not touch the metric
-    numbers; pair with {!reset} for a fully fresh measurement. *)
 
 val reset : unit -> unit
 (** Zero every cell, keeping registrations. *)
@@ -79,12 +72,15 @@ val absorb : snapshot -> unit
     needed), so a parent process's [--profile]/[--profile-json] report
     includes its workers' merged numbers alongside its own. *)
 
+exception Parse_error of string
+(** Malformed JSON handed to {!of_json}. *)
+
 val of_json : string -> snapshot
 (** Parse a document produced by {!to_json} back into a snapshot (the
     worker side of the pool's result pipe serialises with [to_json]).
     [hit_rate] fields are ignored (recomputed); [null] floats (NaN or
     infinities on the emitting side) parse as [0.0].
-    @raise Failure on malformed input. *)
+    @raise Parse_error on malformed input. *)
 
 val pp_table : Format.formatter -> snapshot -> unit
 (** Human-readable table (the [--profile] stderr output). *)

@@ -1,22 +1,19 @@
 let samples = ref 64
 let probe_state = ref (Random.State.make [| 0x5eed; 2024 |])
 
-(* Memo tables whose contents depend on the probe stream (this module's
-   own predicate memo, Range's bound memo, ...) must flush whenever the
-   stream is re-seeded, or a cached answer from one seed would leak into
-   a run under another. *)
-let reset_hooks : (unit -> unit) list ref = ref []
-let add_reset_hook f = reset_hooks := f :: !reset_hooks
-let run_reset_hooks () = List.iter (fun f -> f ()) !reset_hooks
-
+(* Artifact stores whose contents depend on the probe stream (this
+   module's predicate memo, Range's bound memo, the symmetry and LCG
+   stores) are created volatile: advancing the artifact generation
+   whenever the stream is re-seeded flushes them lazily, so no cached
+   answer derived under one seed survives into a run under another. *)
 let with_seed seed f =
   let saved = !probe_state in
   probe_state := Random.State.make [| seed |];
-  run_reset_hooks ();
+  Artifact.new_generation ();
   Fun.protect
     ~finally:(fun () ->
       probe_state := saved;
-      run_reset_hooks ())
+      Artifact.new_generation ())
     f
 
 let sample asm = Assume.sample ~state:!probe_state asm
@@ -24,25 +21,13 @@ let sample asm = Assume.sample ~state:!probe_state asm
 (* Bounded memo for the public predicates: probes are deterministic
    given the seed policy, and the analysis re-asks the same questions
    (stride comparisons, offset orders) thousands of times. *)
-let memo : (int * (string * Assume.domain) list * Expr.t * Expr.t, bool) Hashtbl.t =
-  Hashtbl.create 4096
-
-let () = add_reset_hook (fun () -> Hashtbl.reset memo)
-let () = Metrics.register_clearer (fun () -> Hashtbl.reset memo)
-let memo_stats = Metrics.cache "probe.memo"
+let memo : bool Artifact.store =
+  Artifact.store ~capacity:200_000 ~volatile:true "probe.memo"
 
 let memoized tag asm a b compute =
-  let key = (tag, Assume.to_list asm, a, b) in
-  match Hashtbl.find_opt memo key with
-  | Some r ->
-      Metrics.hit memo_stats;
-      r
-  | None ->
-      Metrics.miss memo_stats;
-      if Hashtbl.length memo > 200_000 then Hashtbl.reset memo;
-      let r = compute () in
-      Hashtbl.add memo key r;
-      r
+  Artifact.find memo
+    Artifact.Key.(list [ int tag; Assume.key asm; expr a; expr b ])
+    compute
 
 let forall_count = Metrics.counter "probe.forall"
 

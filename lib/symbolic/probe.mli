@@ -18,14 +18,10 @@ val samples : int ref
 (** Number of sampled assignments per query (default 64). *)
 
 val with_seed : int -> (unit -> 'a) -> 'a
-(** Run a query deterministically (tests). *)
-
-val add_reset_hook : (unit -> unit) -> unit
-(** Register a callback run whenever the probe stream is re-seeded
-    ({!with_seed} entry and exit).  Memo tables whose cached answers
-    depend on the probe stream (this module's predicate memo, the
-    {!Range} bound memo) register here so no answer derived under one
-    seed survives into a run under another. *)
+(** Run a query deterministically (tests).  Entry and exit advance the
+    {!Artifact} generation, flushing every volatile store, so no cached
+    answer derived under one probe seed survives into a run under
+    another. *)
 
 val sample : Assume.t -> Env.t
 (** Draw one assignment from the probe's internal random state. *)

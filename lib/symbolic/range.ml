@@ -58,17 +58,13 @@ let bounds_of asm v =
 (* Bound elimination is deterministic given the probe stream, and the
    coalescing fixpoint re-asks the same (assumptions, direction, over,
    expr) queries many times per phase; memoize the final validated
-   answer.  The table flushes on re-seed (Probe hook) so an answer
-   never crosses seeds; the descriptor property suite pins that the
-   memoized analysis still matches the brute-force oracle. *)
-let memo :
-    (int * (string * Assume.domain) list * string list * Expr.t, Expr.t option)
-    Hashtbl.t =
-  Hashtbl.create 512
+   answer.  The store is volatile (flushed on generation change, i.e.
+   whenever the probe stream is re-seeded) so an answer never crosses
+   seeds; the descriptor property suite pins that the memoized analysis
+   still matches the brute-force oracle. *)
+let memo : Expr.t option Artifact.store =
+  Artifact.store ~capacity:100_000 ~volatile:true "range.bounds"
 
-let () = Probe.add_reset_hook (fun () -> Hashtbl.reset memo)
-let () = Metrics.register_clearer (fun () -> Hashtbl.reset memo)
-let memo_stats = Metrics.cache "range.bounds"
 let eliminate_timer = Metrics.timer "range.eliminate"
 
 let eliminate_raw asm dir ~over e =
@@ -115,21 +111,18 @@ let eliminate_raw asm dir ~over e =
 
 let eliminate asm dir ~over e =
   let key =
-    ((match dir with Max -> 0 | Min -> 1), Assume.to_list asm, over, e)
+    Artifact.Key.(
+      list
+        [
+          int (match dir with Max -> 0 | Min -> 1);
+          Assume.key asm;
+          list (List.map str over);
+          expr e;
+        ])
   in
-  match Hashtbl.find_opt memo key with
-  | Some r ->
-      Metrics.hit memo_stats;
-      r
-  | None ->
-      Metrics.miss memo_stats;
-      if Hashtbl.length memo > 100_000 then Hashtbl.reset memo;
-      let r =
-        Metrics.with_timer eliminate_timer (fun () ->
-            eliminate_raw asm dir ~over e)
-      in
-      Hashtbl.add memo key r;
-      r
+  Artifact.find memo key (fun () ->
+      Metrics.with_timer eliminate_timer (fun () ->
+          eliminate_raw asm dir ~over e))
 
 let maximize asm ~over e = eliminate asm Max ~over e
 let minimize asm ~over e = eliminate asm Min ~over e

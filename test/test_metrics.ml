@@ -238,11 +238,14 @@ let test_reset () =
     (List.mem_assoc "t.resettable" snap.counters)
 
 let test_clearers () =
-  let tbl = Hashtbl.create 4 in
-  Hashtbl.add tbl 1 ();
-  M.register_clearer (fun () -> Hashtbl.reset tbl);
-  M.clear_caches ();
-  Alcotest.(check int) "registered table flushed" 0 (Hashtbl.length tbl)
+  (* every store self-registers, so a global clear empties this one *)
+  let store : int Core.Artifact.store = Core.Artifact.store "t.artifact" in
+  let k = Core.Artifact.Key.int 1 in
+  Alcotest.(check int) "computed" 7 (Core.Artifact.find store k (fun () -> 7));
+  Alcotest.(check int) "cached" 7 (Core.Artifact.find store k (fun () -> 8));
+  Core.Artifact.clear_all ();
+  Alcotest.(check int) "flushed by clear_all" 9
+    (Core.Artifact.find store k (fun () -> 9))
 
 (* ------------------------------------------------------------------ *)
 (* JSON emission *)
@@ -312,7 +315,7 @@ let test_of_json_rejects () =
       Alcotest.(check bool) (Printf.sprintf "%S rejected" s) true
         (match M.of_json s with
         | _ -> false
-        | exception Failure _ -> true))
+        | exception M.Parse_error _ -> true))
     [ ""; "{"; "[]"; "{\"counters\":[1]}"; "{\"counters\":{\"x\":}}";
       "{} trailing" ]
 
@@ -379,7 +382,7 @@ let test_absorb () =
    the acceptance bar for the --profile surface. *)
 let test_pipeline_populates_registry () =
   M.reset ();
-  M.clear_caches ();
+  Core.Artifact.clear_all ();
   let e = Codes.Registry.find "tfft2" in
   let env = e.env_of_size e.default_size in
   let t = Core.Pipeline.run e.program ~env ~h:4 in
@@ -408,6 +411,42 @@ let test_pipeline_populates_registry () =
     (List.assoc "exec.messages" snap.counters > 0);
   Alcotest.(check bool) "json valid" true (json_valid (M.to_json snap))
 
+(* Cache effectiveness: a warm re-analysis must actually be answered
+   from the artifact stores - nonzero entries, and a strictly positive
+   fleet-wide hit count once the same kernel runs twice.  This is the
+   test-level mirror of the CI cache-smoke assertion on the registry
+   sweep. *)
+let test_warm_run_hits_artifact_stores () =
+  M.reset ();
+  Core.Artifact.clear_all ();
+  let e = Codes.Registry.find "jacobi2d" in
+  let env = e.env_of_size e.default_size in
+  ignore (Core.Pipeline.run e.program ~env ~h:4);
+  ignore (Core.Pipeline.run e.program ~env ~h:4);
+  let stats = Core.Artifact.stats () in
+  let total_hits =
+    List.fold_left (fun acc s -> acc + s.Core.Artifact.hits) 0 stats
+  in
+  let total_entries =
+    List.fold_left (fun acc s -> acc + s.Core.Artifact.entries) 0 stats
+  in
+  Alcotest.(check bool) "stores populated" true (total_entries > 0);
+  Alcotest.(check bool) "warm run hit the stores" true (total_hits > 0);
+  (* and the --cache-stats rendering covers every registered store *)
+  let report = Core.Artifact.report () in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (s.Core.Artifact.s_name ^ " in report")
+        true
+        (contains report s.Core.Artifact.s_name))
+    stats
+
 let () =
   Alcotest.run "metrics"
     [
@@ -424,6 +463,8 @@ let () =
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "reset" `Quick test_reset;
           Alcotest.test_case "clearers" `Quick test_clearers;
+          Alcotest.test_case "warm artifact hits" `Quick
+            test_warm_run_hits_artifact_stores;
         ] );
       ( "json",
         [

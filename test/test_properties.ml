@@ -207,12 +207,130 @@ let prop_memo_coherence =
             let pd = Unionize.simplify (pd_of prog 0) in
             (expand pd ~par:None, expand pd ~par:(Some 0)))
       in
-      Core.Metrics.clear_caches ();
+      Core.Artifact.clear_all ();
       let cold = compute () in
       let warm = compute () in
-      Core.Metrics.clear_caches ();
+      Core.Artifact.clear_all ();
       let cold2 = compute () in
       cold = warm && cold = cold2)
+
+(* ------------------------------------------------------------------ *)
+(* Interning: the hash-consed [Expr.equal]/[Expr.compare] must agree
+   with the pure structural reference implementations on arbitrary
+   expressions - both within one intern generation (where equality is a
+   physical check) and across an [intern_reset] (where the structural
+   fallback carries it).  Expressions are generated as construction
+   recipes so the same term can be rebuilt on either side of a reset. *)
+
+type recipe =
+  | RInt of int
+  | RVar of string
+  | RAdd of recipe * recipe
+  | RSub of recipe * recipe
+  | RMul of recipe * recipe
+  | RPow2 of string * int  (* 2^(v + k): the shape the analyses build *)
+  | RFloor of recipe * recipe
+  | RCeil of recipe * recipe
+  | RDiv of recipe * recipe
+
+let rec build_recipe r =
+  let nonzero r =
+    let e = build_recipe r in
+    if Expr.is_zero e then Expr.one else e
+  in
+  match r with
+  | RInt n -> i n
+  | RVar s -> v s
+  | RAdd (a, b) -> Expr.add (build_recipe a) (build_recipe b)
+  | RSub (a, b) -> Expr.sub (build_recipe a) (build_recipe b)
+  | RMul (a, b) -> Expr.mul (build_recipe a) (build_recipe b)
+  | RPow2 (s, k) -> Expr.pow2 (Expr.add (v s) (i k))
+  | RFloor (a, b) -> Expr.floor_div (build_recipe a) (nonzero b)
+  | RCeil (a, b) -> Expr.ceil_div (build_recipe a) (nonzero b)
+  | RDiv (a, b) -> Expr.div (build_recipe a) (nonzero b)
+
+let gen_recipe =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun n -> RInt n) (int_range (-8) 8);
+        map (fun s -> RVar s) (oneofl [ "x"; "y"; "z" ]);
+        map2 (fun s k -> RPow2 (s, k)) (oneofl [ "x"; "y" ]) (int_range 0 3);
+      ]
+  in
+  (* fuel is kept small ([0..8], halving per level): multiplying sums
+     multiplies monomial counts, so unbounded towers of RMul-over-RAdd
+     make normalisation exponentially expensive *)
+  int_range 0 8
+  >>= fix (fun self n ->
+          if n <= 0 then leaf
+          else
+            let sub = self (n / 2) in
+            frequency
+              [
+                (2, leaf);
+                (3, map2 (fun a b -> RAdd (a, b)) sub sub);
+                (2, map2 (fun a b -> RSub (a, b)) sub sub);
+                (3, map2 (fun a b -> RMul (a, b)) sub sub);
+                (1, map2 (fun a b -> RFloor (a, b)) sub sub);
+                (1, map2 (fun a b -> RCeil (a, b)) sub sub);
+                (1, map2 (fun a b -> RDiv (a, b)) sub sub);
+              ])
+
+let arb_recipe_pair =
+  QCheck.make
+    QCheck.Gen.(pair gen_recipe gen_recipe)
+    ~print:(fun (a, b) ->
+      Format.asprintf "%a / %a" Expr.pp (build_recipe a) Expr.pp
+        (build_recipe b))
+
+let prop_intern_agrees_structural =
+  QCheck.Test.make ~name:"interned equal/compare = structural reference"
+    ~count arb_recipe_pair (fun (r1, r2) ->
+      let a = build_recipe r1 and b = build_recipe r2 in
+      Expr.equal a b = Expr.structural_equal a b
+      && Expr.compare a b = Expr.structural_compare a b
+      && Expr.compare a b = -Expr.compare b a
+      && (Expr.compare a b = 0) = Expr.equal a b
+      && ((not (Expr.equal a b)) || Expr.digest a = Expr.digest b))
+
+let prop_intern_reset_coherent =
+  QCheck.Test.make ~name:"equal/compare/digest stable across intern_reset"
+    ~count arb_recipe_pair (fun (r1, r2) ->
+      let a = build_recipe r1 and a2 = build_recipe r2 in
+      let digest_a = Expr.digest a in
+      let order = Expr.compare a a2 in
+      Expr.intern_reset ();
+      let b = build_recipe r1 and b2 = build_recipe r2 in
+      (* the same recipe denotes the same interned term, just in a new
+         generation: equality, order and digest must all carry over,
+         including between a pre-reset and a post-reset value *)
+      Expr.equal a b
+      && Expr.compare a b = 0
+      && Expr.structural_equal a b
+      && Expr.digest b = digest_a
+      && Expr.compare b b2 = order
+      && Expr.compare a b2 = order
+      && Expr.compare b a2 = order)
+
+(* Dedicated cold-vs-warm run over the full pipeline: the first run
+   starts from empty artifact stores and a fresh intern generation, the
+   second answers from the warm stores - the rendered reports must be
+   byte-identical. *)
+let report_of_cold_warm t = Format.asprintf "%a" Core.Pipeline.report t
+
+let prop_cold_warm_report =
+  QCheck.Test.make ~name:"cold and warm pipeline reports byte-identical"
+    ~count arb_affine (fun prog ->
+      Core.Artifact.clear_all ();
+      let once () =
+        Probe.with_seed 509 (fun () ->
+            report_of_cold_warm (Core.Pipeline.run prog ~env:Env.empty ~h:4))
+      in
+      let cold = once () in
+      let warm = once () in
+      cold = warm)
 
 (* ------------------------------------------------------------------ *)
 (* Frontend round trip and pipeline determinism *)
@@ -313,7 +431,13 @@ let () =
             prop_adjust_distance;
           ] );
       ( "caching",
-        [ QCheck_alcotest.to_alcotest prop_memo_coherence ] );
+        [
+          QCheck_alcotest.to_alcotest prop_memo_coherence;
+          QCheck_alcotest.to_alcotest prop_cold_warm_report;
+        ] );
+      ( "interning",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_intern_agrees_structural; prop_intern_reset_coherent ] );
       ( "frontend",
         [
           QCheck_alcotest.to_alcotest prop_parse_unparse;

@@ -343,6 +343,46 @@ let test_expr_corner_cases () =
   let r = v "x" * (Expr.one / v "x") in
   Alcotest.(check expr) "x * 1/x" Expr.one r
 
+(* ------------------------------------------------------------------ *)
+(* Interning: physical sharing within a generation, stable digests and
+   correct equality across an [intern_reset] generation boundary. *)
+
+(* A term mixing every atom kind, rebuilt on demand so the same
+   mathematical value can be constructed on either side of a reset. *)
+let intern_specimen () =
+  let n = v "n" and m = v "m" in
+  (p2 n * Expr.floor_div m (i 3 + n)) + Expr.ceil_div (n * m) (i 5) - (m / i 2)
+
+let test_intern_sharing () =
+  let a = intern_specimen () and b = intern_specimen () in
+  Alcotest.(check bool) "physically shared" true (a == b);
+  Alcotest.(check int) "same id" (Expr.id a) (Expr.id b);
+  Alcotest.(check int) "same digest" (Expr.digest a) (Expr.digest b);
+  Alcotest.(check bool) "intern table non-empty" true
+    (Expr.intern_size () > 0)
+
+let test_intern_reset () =
+  let a = intern_specimen () in
+  let size_before = Expr.intern_size () in
+  Expr.intern_reset ();
+  Alcotest.(check bool) "table dropped" true
+    (Expr.intern_size () < size_before);
+  let b = intern_specimen () in
+  Alcotest.(check bool) "fresh record after reset" true (not (a == b));
+  Alcotest.(check bool) "ids never reused" true (Expr.id b > Expr.id a);
+  (* identity survives the generation boundary *)
+  Alcotest.(check bool) "equal across generations" true (Expr.equal a b);
+  Alcotest.(check int) "compare 0 across generations" 0 (Expr.compare a b);
+  Alcotest.(check bool) "structural_equal agrees" true
+    (Expr.structural_equal a b);
+  Alcotest.(check int) "digest stable across reset" (Expr.digest a)
+    (Expr.digest b);
+  (* mixed-generation algebra still normalises: old minus new is zero *)
+  Alcotest.(check bool) "a - b = 0 across generations" true
+    (Expr.is_zero (a - b));
+  Alcotest.(check expr) "constants keep canonical identity" Expr.one
+    (i 1)
+
 let test_linear_in_with_atoms () =
   (* a ceil atom not involving v is a coefficient like any other *)
   let e = (Expr.ceil_div (v "N") (v "H") * v "t") + i 5 in
@@ -423,6 +463,11 @@ let () =
           Alcotest.test_case "tfft2 reach" `Quick test_range_tfft2_reach;
           Alcotest.test_case "monotonicity" `Quick test_range_monotone;
           Alcotest.test_case "mixed refused" `Quick test_range_mixed;
+        ] );
+      ( "intern",
+        [
+          Alcotest.test_case "sharing" `Quick test_intern_sharing;
+          Alcotest.test_case "reset" `Quick test_intern_reset;
         ] );
       ( "corner-cases",
         [
