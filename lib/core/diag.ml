@@ -13,6 +13,7 @@ type stage =
   | Exec
   | Validation
   | Pool
+  | Serve
 
 type t = {
   severity : severity;
@@ -50,6 +51,7 @@ let stage_to_string = function
   | Exec -> "exec"
   | Validation -> "validation"
   | Pool -> "pool"
+  | Serve -> "serve"
 
 let add c ~severity ~stage ?where ~code message =
   (* the diagnostic that would exceed the cap is not recorded *)

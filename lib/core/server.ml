@@ -1,0 +1,644 @@
+(* `dsmloc serve`: the warm analysis daemon.  See server.mli for the
+   robustness contract and DESIGN.md section 15 for the protocol and
+   state machines. *)
+
+open Symbolic
+module Wire = Frontend.Wire
+
+type config = {
+  socket : string option;
+  workers : int;
+  queue_cap : int;
+  default_deadline : float option;
+  max_frame : int;
+  max_worker_jobs : int;
+  max_worker_rss_kb : int;
+  drain_deadline : float;
+  max_connections : int;
+  test_hooks : bool;
+  verbose : bool;
+}
+
+let default_config =
+  {
+    socket = None;
+    workers = 4;
+    queue_cap = 64;
+    default_deadline = None;
+    max_frame = Wire.default_max_frame;
+    max_worker_jobs = 256;
+    max_worker_rss_kb = 1 lsl 20;
+    drain_deadline = 5.0;
+    max_connections = 64;
+    test_hooks = false;
+    verbose = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let req_counter = Metrics.counter "serve.requests"
+let ok_counter = Metrics.counter "serve.ok"
+let degraded_counter = Metrics.counter "serve.degraded"
+let error_counter = Metrics.counter "serve.errors"
+let shed_counter = Metrics.counter "serve.shed"
+let bad_frame_counter = Metrics.counter "serve.bad_frames"
+let bad_request_counter = Metrics.counter "serve.bad_requests"
+let deadline_counter = Metrics.counter "serve.deadline"
+let lost_counter = Metrics.counter "serve.worker_lost"
+let latency_hist = Metrics.histogram "serve.latency_ms"
+let depth_hist = Metrics.histogram "serve.queue_depth"
+
+(* ------------------------------------------------------------------ *)
+(* The worker side: everything here runs in a forked Pool.Server
+   worker.  Request and reply records cross the fork boundary by
+   Marshal, so they are plain data. *)
+
+type wreq = {
+  q_source : string;
+  q_env : (string * int) list;
+  q_procs : int;
+  q_hang : float;
+  q_crash : bool;
+}
+
+type wrep = {
+  p_status : Wire.status;
+  p_code : string option;
+  p_hits : int;  (* artifact-store hits while serving this request *)
+  p_body : string;
+}
+
+let mk_rep ?code status body =
+  { p_status = status; p_code = code; p_hits = 0; p_body = body }
+
+(* Whole-response artifact: a byte-for-byte repeat of (program, env,
+   procs) is answered from the store - the strongest form of warm
+   reuse.  Responses are pure functions of the key: the probe seed is
+   derived from the program digest, so the cached bytes are exactly
+   what a cold run would produce. *)
+let response_store : wrep Artifact.store =
+  Artifact.store ~capacity:1024 "serve.response"
+
+let request_key (q : wreq) =
+  Artifact.Key.(
+    list
+      [
+        str (Digest.string q.q_source);
+        list (List.map (fun (k, v) -> list [ str k; int v ]) q.q_env);
+        int q.q_procs;
+      ])
+
+let artifact_hits_total () =
+  List.fold_left (fun acc (s : Artifact.stat) -> acc + s.hits) 0
+    (Artifact.stats ())
+
+exception Reply of wrep
+
+(* Mirror of the `dsmloc file` parameter defaulting: explicit bindings
+   win; otherwise each declared range takes its midpoint and pow2
+   parameters derive from their (already bound) exponent. *)
+let env_of_request (prog : Ir.Types.program) bindings =
+  if bindings <> [] then
+    List.fold_left (fun env (k, v) -> Env.add k v env) Env.empty bindings
+  else
+    List.fold_left
+      (fun env (v, d) ->
+        match d with
+        | Assume.Int_range (lo, hi) -> Env.add v ((lo + hi) / 2) env
+        | Assume.Pow2_of w -> (
+            match Env.find env w with
+            | e -> Env.add v (1 lsl e) env
+            | exception Env.Unbound _ ->
+                raise
+                  (Reply
+                     (mk_rep ~code:"SERVE-BAD-REQUEST" Wire.Error
+                        (Printf.sprintf
+                           "parameter %s = 2^%s: %s is not bound (declare it \
+                            first or pass %%env)"
+                           v w w))))
+        | Assume.Expr_range _ -> env)
+      Env.empty
+      (Assume.to_list prog.Ir.Types.params)
+
+let compute (q : wreq) : wrep =
+  let prog =
+    try Frontend.Parse.program q.q_source
+    with Frontend.Parse.Error { line; message } ->
+      raise
+        (Reply
+           (mk_rep ~code:"SERVE-PARSE" Wire.Error
+              (Printf.sprintf "line %d: %s" line message)))
+  in
+  let env = env_of_request prog q.q_env in
+  let diags = Diag.collector () in
+  let t = Pipeline.run ~diags prog ~env ~h:q.q_procs in
+  let body = Format.asprintf "%a@." Pipeline.report t in
+  if Pipeline.degraded t then mk_rep Wire.Degraded body
+  else mk_rep Wire.Ok body
+
+(* One request, inside the worker.  Test hooks run before the cache so
+   a hang/crash behaves identically on warm repeats; the artifact-hit
+   delta is measured around the store lookup so a response served from
+   the store reports its own hit. *)
+let serve_one ~test_hooks (q : wreq) : wrep =
+  if test_hooks && q.q_crash then Unix.kill (Unix.getpid ()) Sys.sigkill;
+  if test_hooks && q.q_hang > 0. then Unix.sleepf q.q_hang;
+  let before = artifact_hits_total () in
+  let rep =
+    Artifact.find response_store (request_key q) @@ fun () ->
+    let seed = Hashtbl.hash (Digest.string q.q_source) land 0x3FFFFFFF in
+    match Probe.with_seed seed (fun () -> compute q) with
+    | rep -> rep
+    | exception Reply rep -> rep
+    | exception e ->
+        mk_rep ~code:"SERVE-INTERNAL" Wire.Error (Printexc.to_string e)
+  in
+  { rep with p_hits = artifact_hits_total () - before }
+
+(* ------------------------------------------------------------------ *)
+(* Parent-side plumbing *)
+
+let rec restart f = try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart f
+
+let write_all fd buf =
+  let len = Bytes.length buf in
+  let ofs = ref 0 in
+  while !ofs < len do
+    let n = restart (fun () -> Unix.write fd buf !ofs (len - !ofs)) in
+    ofs := !ofs + n
+  done
+
+type conn = {
+  c_id : int;
+  c_rfd : Unix.file_descr;
+  c_wfd : Unix.file_descr;  (* = c_rfd except in stdio mode *)
+  c_stdio : bool;  (* never actually close the process's stdin/stdout *)
+  c_dec : Wire.decoder;
+  mutable c_out : (bytes * int) list;  (* pending writes: buffer, offset *)
+  mutable c_inflight : int;  (* requests submitted, reply not yet queued *)
+  mutable c_eof : bool;
+  mutable c_closing : bool;  (* stop reading; close once flushed *)
+  mutable c_dead : bool;
+}
+
+type pending = { pr_conn : conn; pr_submitted : float }
+
+type state = {
+  cfg : config;
+  diags : Diag.collector;
+  pool : (wreq, wrep) Pool.Server.t;
+  mutable listen_fd : Unix.file_descr option;
+  mutable conns : conn list;
+  pending : (int, pending) Hashtbl.t;  (* pool job id -> requester *)
+  mutable next_conn : int;
+  mutable stop : bool;
+}
+
+let log st fmt =
+  if st.cfg.verbose then
+    Printf.ksprintf (fun s -> Printf.eprintf "dsmloc-serve: %s\n%!" s) fmt
+  else Printf.ksprintf ignore fmt
+
+(* Non-blocking buffered writes: replies queue on the connection and
+   drain as the peer accepts them, so one slow reader never stalls the
+   daemon. *)
+let try_flush st conn =
+  let rec go () =
+    match conn.c_out with
+    | [] -> ()
+    | (buf, ofs) :: rest -> (
+        let len = Bytes.length buf - ofs in
+        match Unix.write conn.c_wfd buf ofs len with
+        | n ->
+            if n = len then begin
+              conn.c_out <- rest;
+              go ()
+            end
+            else conn.c_out <- (buf, ofs + n) :: rest
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error _ ->
+            log st "conn %d: write failed, dropping" conn.c_id;
+            conn.c_dead <- true)
+  in
+  if not conn.c_dead then go ()
+
+let enqueue_reply st conn (resp : Wire.response) =
+  if not conn.c_dead then begin
+    let frame = Wire.encode_frame (Wire.encode_response resp) in
+    conn.c_out <- conn.c_out @ [ (frame, 0) ];
+    try_flush st conn
+  end
+
+let close_conn conn =
+  if not conn.c_dead then begin
+    conn.c_dead <- true;
+    if not conn.c_stdio then (
+      try Unix.close conn.c_rfd with Unix.Unix_error _ -> ())
+  end
+
+(* Retry-after hint on shed requests: proportional to the backlog per
+   worker, from the observed mean service latency (50 ms floor when
+   nothing completed yet). *)
+let retry_after_hint st =
+  let depth = Pool.Server.queue_depth st.pool + Pool.Server.in_flight st.pool in
+  let mean_s =
+    match
+      List.assoc_opt "serve.latency_ms" (Metrics.snapshot ()).Metrics.histograms
+    with
+    | Some (n, sum, _, _) when n > 0 -> sum /. float_of_int n /. 1000.
+    | _ -> 0.05
+  in
+  max 0.05 (mean_s *. float_of_int (depth + 1) /. float_of_int st.cfg.workers)
+
+let handle_request st conn payload =
+  match Wire.parse_request payload with
+  | Error msg ->
+      Metrics.incr bad_request_counter;
+      Diag.addf st.diags ~severity:Diag.Warning ~stage:Diag.Serve
+        ~code:"SERVE-BAD-REQUEST" "conn %d: %s" conn.c_id msg;
+      enqueue_reply st conn
+        (Wire.response ~code:"SERVE-BAD-REQUEST" Wire.Error msg)
+  | Ok req ->
+      Metrics.incr req_counter;
+      let q =
+        {
+          q_source = req.Wire.source;
+          q_env = req.Wire.env;
+          q_procs = req.Wire.procs;
+          (* hooks are inert unless the daemon opted in *)
+          q_hang = (if st.cfg.test_hooks then req.Wire.hang else 0.);
+          q_crash = st.cfg.test_hooks && req.Wire.crash;
+        }
+      in
+      let deadline =
+        match req.Wire.deadline with
+        | Some d -> Some d
+        | None -> st.cfg.default_deadline
+      in
+      let affinity = Hashtbl.hash (Digest.string q.q_source) in
+      Metrics.observe depth_hist
+        (float_of_int (Pool.Server.queue_depth st.pool));
+      (match Pool.Server.submit st.pool ~affinity ?deadline q with
+      | Ok id ->
+          Hashtbl.replace st.pending id
+            { pr_conn = conn; pr_submitted = Metrics.now () };
+          conn.c_inflight <- conn.c_inflight + 1;
+          log st "conn %d: request %d admitted (depth %d)" conn.c_id id
+            (Pool.Server.queue_depth st.pool)
+      | Error `Overloaded ->
+          Metrics.incr shed_counter;
+          let hint = retry_after_hint st in
+          Diag.addf st.diags ~severity:Diag.Warning ~stage:Diag.Serve
+            ~code:"SERVE-OVERLOAD"
+            "conn %d: queue full (%d), shed with retry-after %.2fs" conn.c_id
+            st.cfg.queue_cap hint;
+          enqueue_reply st conn
+            (Wire.response ~code:"SERVE-OVERLOAD" ~retry_after:hint
+               Wire.Overload
+               (Printf.sprintf
+                  "queue full (%d queued); retry after the hint"
+                  st.cfg.queue_cap)))
+
+(* Drain every complete frame the connection has buffered. *)
+let rec pump_frames st conn =
+  if conn.c_dead || conn.c_closing then ()
+  else
+    match Wire.next conn.c_dec with
+    | Wire.Frame payload ->
+        handle_request st conn payload;
+        pump_frames st conn
+    | Wire.Need_more -> ()
+    | Wire.Bad msg ->
+        Metrics.incr bad_frame_counter;
+        Diag.addf st.diags ~severity:Diag.Warning ~stage:Diag.Serve
+          ~code:"SERVE-BAD-FRAME" "conn %d: %s" conn.c_id msg;
+        enqueue_reply st conn
+          (Wire.response ~code:"SERVE-BAD-FRAME" Wire.Error msg);
+        (* a marshal-framed stream cannot be resynchronised *)
+        conn.c_closing <- true
+
+let read_conn st conn =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match Unix.read conn.c_rfd buf 0 (Bytes.length buf) with
+    | 0 -> conn.c_eof <- true
+    | n ->
+        Wire.feed conn.c_dec buf ~pos:0 ~len:n;
+        pump_frames st conn;
+        if not conn.c_closing then go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ ->
+        conn.c_dead <- true
+  in
+  if not (conn.c_dead || conn.c_closing) then go ()
+
+let status_counter = function
+  | Wire.Ok -> ok_counter
+  | Wire.Degraded -> degraded_counter
+  | Wire.Deadline -> deadline_counter
+  | Wire.Overload -> shed_counter
+  | Wire.Error -> error_counter
+
+let handle_completion st (c : wrep Pool.Server.completion) =
+  match Hashtbl.find_opt st.pending c.Pool.Server.c_id with
+  | None -> ()
+  | Some { pr_conn; pr_submitted } ->
+      Hashtbl.remove st.pending c.Pool.Server.c_id;
+      pr_conn.c_inflight <- pr_conn.c_inflight - 1;
+      let elapsed_ms = (Metrics.now () -. pr_submitted) *. 1000. in
+      Metrics.observe latency_hist elapsed_ms;
+      let resp =
+        match c.Pool.Server.c_outcome with
+        | Ok rep ->
+            Wire.response ?code:rep.p_code ~artifact_hits:rep.p_hits
+              ~worker_requests:c.Pool.Server.c_worker_jobs ~elapsed_ms
+              rep.p_status rep.p_body
+        | Error (code, reason) ->
+            let status, serve_code =
+              match code with
+              | "POOL-DEADLINE" -> (Wire.Deadline, "SERVE-DEADLINE")
+              | "POOL-WORKER-LOST" | "POOL-BAD-FRAME" ->
+                  (Wire.Error, "SERVE-WORKER-LOST")
+              | "POOL-DRAIN" -> (Wire.Error, "SERVE-DRAIN")
+              | _ -> (Wire.Error, "SERVE-INTERNAL")
+            in
+            Diag.addf st.diags ~severity:Diag.Warning ~stage:Diag.Serve
+              ~code:serve_code "request %d: %s (%s after %d attempts)"
+              c.Pool.Server.c_id reason code c.Pool.Server.c_attempts;
+            (match serve_code with
+            | "SERVE-WORKER-LOST" -> Metrics.incr lost_counter
+            | _ -> ());
+            Wire.response ~code:serve_code ~elapsed_ms status
+              (Printf.sprintf "%s (%s)" reason code)
+      in
+      Metrics.incr (status_counter resp.Wire.status);
+      log st "request %d: %s in %.1fms (worker request #%d)"
+        c.Pool.Server.c_id
+        (Wire.status_to_string resp.Wire.status)
+        elapsed_ms c.Pool.Server.c_worker_jobs;
+      enqueue_reply st pr_conn resp
+
+(* ------------------------------------------------------------------ *)
+(* Event loop *)
+
+let mk_conn st ?(stdio = false) ~rfd ~wfd () =
+  let c =
+    {
+      c_id = st.next_conn;
+      c_rfd = rfd;
+      c_wfd = wfd;
+      c_stdio = stdio;
+      c_dec = Wire.decoder ~max_frame:st.cfg.max_frame ();
+      c_out = [];
+      c_inflight = 0;
+      c_eof = false;
+      c_closing = false;
+      c_dead = false;
+    }
+  in
+  st.next_conn <- st.next_conn + 1;
+  st.conns <- st.conns @ [ c ];
+  c
+
+let accept_new st listen_fd =
+  let rec go () =
+    match Unix.accept ~cloexec:true listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        if List.length st.conns >= st.cfg.max_connections then begin
+          Metrics.incr shed_counter;
+          let c = mk_conn st ~rfd:fd ~wfd:fd () in
+          Diag.addf st.diags ~severity:Diag.Warning ~stage:Diag.Serve
+            ~code:"SERVE-OVERLOAD" "connection limit %d reached, shedding"
+            st.cfg.max_connections;
+          enqueue_reply st c
+            (Wire.response ~code:"SERVE-OVERLOAD"
+               ~retry_after:(retry_after_hint st) Wire.Overload
+               "connection limit reached");
+          c.c_closing <- true
+        end
+        else begin
+          let c = mk_conn st ~rfd:fd ~wfd:fd () in
+          log st "conn %d: accepted" c.c_id
+        end;
+        go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+(* Close connections that have nothing left to say: flushed and either
+   half-closed by the peer (with no replies outstanding) or poisoned. *)
+let sweep_conns st =
+  List.iter
+    (fun c ->
+      if not c.c_dead then begin
+        if c.c_closing && c.c_out = [] then close_conn c
+        else if c.c_eof && c.c_inflight = 0 && c.c_out = [] then close_conn c
+      end)
+    st.conns;
+  st.conns <- List.filter (fun c -> not c.c_dead) st.conns
+
+let emit_final_snapshot () =
+  Printf.eprintf "dsmloc-serve: final metrics %s\n%!"
+    (Metrics.to_json (Metrics.snapshot ()))
+
+let run ?(diags = Diag.collector ()) cfg =
+  let cfg = { cfg with workers = max 1 cfg.workers } in
+  let pool =
+    Pool.Server.create ~workers:cfg.workers ~queue_cap:cfg.queue_cap
+      ~retries:1 ~max_worker_jobs:cfg.max_worker_jobs
+      ~max_worker_rss_kb:cfg.max_worker_rss_kb
+      ~f:(serve_one ~test_hooks:cfg.test_hooks)
+      ()
+  in
+  let st =
+    {
+      cfg;
+      diags;
+      pool;
+      listen_fd = None;
+      conns = [];
+      pending = Hashtbl.create 64;
+      next_conn = 0;
+      stop = false;
+    }
+  in
+  (match cfg.socket with
+  | Some path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 128;
+      Unix.set_nonblock fd;
+      st.listen_fd <- Some fd;
+      log st "listening on %s (%d workers)" path cfg.workers
+  | None ->
+      Unix.set_nonblock Unix.stdin;
+      ignore (mk_conn st ~stdio:true ~rfd:Unix.stdin ~wfd:Unix.stdout ());
+      log st "serving stdio (%d workers)" cfg.workers);
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> st.stop <- true)) in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> st.stop <- true)) in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm old_term;
+      Sys.set_signal Sys.sigint old_int;
+      (match (st.listen_fd, cfg.socket) with
+      | Some fd, Some path ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          (try Unix.unlink path with Unix.Unix_error _ -> ())
+      | _ -> ());
+      List.iter close_conn st.conns;
+      Pool.Server.destroy pool;
+      emit_final_snapshot ())
+  @@ fun () ->
+  (* ---------------- main loop ---------------- *)
+  let stdio_done () =
+    cfg.socket = None
+    && List.for_all
+         (fun c -> c.c_dead || (c.c_eof && c.c_inflight = 0 && c.c_out = []))
+         st.conns
+  in
+  while not (st.stop || stdio_done ()) do
+    let reads =
+      (match st.listen_fd with Some fd -> [ fd ] | None -> [])
+      @ List.filter_map
+          (fun c ->
+            if c.c_dead || c.c_closing || c.c_eof then None else Some c.c_rfd)
+          st.conns
+      @ Pool.Server.readable_fds pool
+    in
+    let writes =
+      List.filter_map
+        (fun c -> if (not c.c_dead) && c.c_out <> [] then Some c.c_wfd else None)
+        st.conns
+    in
+    let timeout =
+      match Pool.Server.next_deadline pool with
+      | Some d -> max 0.01 (min 0.5 (d -. Metrics.now ()))
+      | None -> 0.5
+    in
+    let readable, writable, _ =
+      try Unix.select reads writes [] timeout
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    (match st.listen_fd with
+    | Some fd when List.mem fd readable -> accept_new st fd
+    | _ -> ());
+    List.iter
+      (fun c -> if List.mem c.c_rfd readable then read_conn st c)
+      st.conns;
+    let pool_readable =
+      let pool_fds = Pool.Server.readable_fds pool in
+      List.filter (fun fd -> List.mem fd pool_fds) readable
+    in
+    List.iter (handle_completion st)
+      (Pool.Server.step pool ~readable:pool_readable ());
+    List.iter
+      (fun c -> if List.mem c.c_wfd writable then try_flush st c)
+      st.conns;
+    sweep_conns st
+  done;
+  (* ---------------- graceful drain ---------------- *)
+  log st "drain: %d queued, %d in flight (deadline %.1fs)"
+    (Pool.Server.queue_depth pool)
+    (Pool.Server.in_flight pool)
+    cfg.drain_deadline;
+  (match (st.listen_fd, cfg.socket) with
+  | Some fd, Some path ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      st.listen_fd <- None
+  | _ -> ());
+  List.iter (handle_completion st)
+    (Pool.Server.drain pool ~deadline:cfg.drain_deadline);
+  (* flush outstanding replies, bounded by a last short deadline *)
+  let flush_until = Metrics.now () +. max 1.0 (cfg.drain_deadline /. 2.) in
+  let rec flush_loop () =
+    let waiting =
+      List.filter (fun c -> (not c.c_dead) && c.c_out <> []) st.conns
+    in
+    if waiting <> [] && Metrics.now () < flush_until then begin
+      let writes = List.map (fun c -> c.c_wfd) waiting in
+      let _, writable, _ =
+        try Unix.select [] writes [] 0.2
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      List.iter
+        (fun c -> if List.mem c.c_wfd writable then try_flush st c)
+        waiting;
+      flush_loop ()
+    end
+  in
+  flush_loop ();
+  log st "drained; %d requests total" (Pool.Server.recycles pool)
+
+(* ------------------------------------------------------------------ *)
+(* Client *)
+
+module Client = struct
+  let connect path =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Printf.sprintf "connect %s: %s" path (Unix.error_message e))
+
+  let recv_response fd ~until =
+    let dec = Wire.decoder () in
+    let buf = Bytes.create 65536 in
+    let rec go () =
+      match Wire.next dec with
+      | Wire.Frame payload -> (
+          match Wire.parse_response payload with
+          | Ok r -> Ok r
+          | Error msg -> Error ("malformed response: " ^ msg))
+      | Wire.Bad msg -> Error ("bad response frame: " ^ msg)
+      | Wire.Need_more ->
+          let left = until -. Unix.gettimeofday () in
+          if left <= 0. then Error "timeout waiting for response"
+          else begin
+            match
+              try Unix.select [ fd ] [] [] left
+              with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+            with
+            | [], _, _ -> go ()
+            | _ -> (
+                match restart (fun () -> Unix.read fd buf 0 (Bytes.length buf)) with
+                | 0 ->
+                    Error
+                      (Printf.sprintf
+                         "connection closed mid-response (%d bytes buffered)"
+                         (Wire.buffered dec))
+                | n ->
+                    Wire.feed dec buf ~pos:0 ~len:n;
+                    go ()
+                | exception Unix.Unix_error (e, _, _) ->
+                    Error (Unix.error_message e))
+          end
+    in
+    go ()
+
+  let raw ~socket ?(timeout = 60.) bytes =
+    match connect socket with
+    | Error _ as e -> e
+    | Ok fd ->
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close fd with Unix.Unix_error _ -> ())
+        @@ fun () ->
+        (match write_all fd bytes with
+        | () -> recv_response fd ~until:(Unix.gettimeofday () +. timeout)
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (Unix.error_message e))
+
+  let request ~socket ?timeout req =
+    raw ~socket ?timeout (Wire.encode_frame (Wire.encode_request req))
+end

@@ -1,0 +1,84 @@
+(** [dsmloc serve]: a hardened, warm analysis daemon.
+
+    The daemon accepts {!Frontend.Wire} request frames - surface
+    language programs plus [%]-directives - over a Unix-domain socket
+    (or stdin/stdout in [--stdio] mode), dispatches them onto a
+    persistent recycling {!Pool.Server} worker fleet, and keeps the
+    expensive per-process state ({!Symbolic.Expr} interning and the
+    {!Artifact} stores) warm across requests: a repeated program is
+    answered from the digest-keyed response artifact, an edited one
+    re-analyzes only the phases whose {!Ir.Types.phase_context_key}
+    digests changed.
+
+    Robustness contract (DESIGN.md section 15):
+    - {b total wire decoding}: a corrupt length prefix, oversized or
+      truncated frame yields a structured [SERVE-BAD-FRAME] reply (and
+      connection close), never a multi-GB allocation or a parser crash;
+      slow-trickle frames are accumulated non-blockingly and cannot
+      stall other connections;
+    - {b per-request deadlines}: a request carrying [%deadline] (or the
+      server default) that exceeds its budget - queued or in flight -
+      gets a [SERVE-DEADLINE] reply; a hung worker is SIGKILLed and
+      replaced (crashes were already isolated; deadlines close the
+      stuck-loop gap);
+    - {b bounded admission}: past [queue_cap] queued requests the
+      daemon sheds with [SERVE-OVERLOAD] plus a retry-after hint
+      instead of buffering unboundedly;
+    - {b worker recycling}: a worker that served [max_worker_jobs]
+      requests or crossed the RSS watermark is replaced by a fresh fork
+      with clean analysis state, so memory stays bounded over any
+      request count;
+    - {b graceful drain}: SIGTERM/SIGINT stop accepting, finish
+      in-flight and queued work within [drain_deadline] seconds
+      ([SERVE-DRAIN] past it), flush replies, emit a final metrics
+      snapshot on stderr, and remove the socket. *)
+
+type config = {
+  socket : string option;  (** [None] = stdio mode *)
+  workers : int;
+  queue_cap : int;  (** admission-queue bound (backpressure) *)
+  default_deadline : float option;
+      (** per-request budget (seconds) when the request names none *)
+  max_frame : int;  (** wire frame cap, bytes *)
+  max_worker_jobs : int;  (** recycle a worker after this many requests *)
+  max_worker_rss_kb : int;  (** ... or past this resident-set watermark *)
+  drain_deadline : float;  (** seconds granted to in-flight work on shutdown *)
+  max_connections : int;  (** concurrent client connections *)
+  test_hooks : bool;
+      (** honour the [%hang]/[%crash] request directives (torture/CI
+          only; ignored - stripped - otherwise) *)
+  verbose : bool;  (** per-request log lines on stderr *)
+}
+
+val default_config : config
+(** 4 workers, queue 64, no default deadline, 16 MiB frames, recycle at
+    256 requests / 1 GiB RSS, 5 s drain, 64 connections, hooks off. *)
+
+val run : ?diags:Diag.collector -> config -> unit
+(** Run the daemon until SIGTERM/SIGINT (or, in stdio mode, EOF on
+    stdin), then drain and return.  Collects daemon-side diagnostics
+    ([SERVE-*]) into [diags] when given.
+    @raise Unix.Unix_error when the socket cannot be bound. *)
+
+(** Client side of the wire protocol: used by [dsmloc request], the
+    tests and the CI smoke script. *)
+module Client : sig
+  val request :
+    socket:string ->
+    ?timeout:float ->
+    Frontend.Wire.request ->
+    (Frontend.Wire.response, string) result
+  (** One round trip: connect, send the framed request, decode the
+      framed response ([timeout] seconds for the whole trip, default
+      60).  [Error] is transport-level (refused, timeout, bad frame);
+      request-level failures come back as a response with a non-[Ok]
+      status. *)
+
+  val raw :
+    socket:string ->
+    ?timeout:float ->
+    bytes ->
+    (Frontend.Wire.response, string) result
+  (** Send pre-encoded bytes verbatim (tests use this to deliver
+      corrupt frames) and decode one response frame. *)
+end

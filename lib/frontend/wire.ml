@@ -1,0 +1,287 @@
+(* Wire protocol for `dsmloc serve`: see wire.mli for the format and
+   DESIGN.md section 15 for the state machines built on top of it. *)
+
+(* ------------------------------------------------------------------ *)
+(* Framing *)
+
+let default_max_frame = 16 * 1024 * 1024
+
+let encode_frame payload =
+  let n = String.length payload in
+  let b = Bytes.create (8 + n) in
+  Bytes.set_int64_be b 0 (Int64.of_int n);
+  Bytes.blit_string payload 0 b 8 n;
+  b
+
+type frame_result = Frame of string | Need_more | Bad of string
+
+(* The buffer only ever holds the current frame's prefix, so a decoder
+   is bounded by [max_frame + 8] bytes however much a peer trickles or
+   floods. *)
+type decoder = {
+  max_frame : int;
+  buf : Buffer.t;
+  mutable poisoned : string option;
+}
+
+let decoder ?(max_frame = default_max_frame) () =
+  { max_frame; buf = Buffer.create 256; poisoned = None }
+
+let feed d b ~pos ~len =
+  if d.poisoned = None then Buffer.add_subbytes d.buf b pos len
+
+let feed_string d s =
+  if d.poisoned = None then Buffer.add_string d.buf s
+
+let buffered d = Buffer.length d.buf
+
+let next d =
+  match d.poisoned with
+  | Some msg -> Bad msg
+  | None ->
+      let have = Buffer.length d.buf in
+      if have < 8 then Need_more
+      else begin
+        let hdr = Buffer.sub d.buf 0 8 in
+        let len64 = Bytes.get_int64_be (Bytes.unsafe_of_string hdr) 0 in
+        (* validate before allocating or converting: an adversarial
+           prefix may not even fit in an int *)
+        if Int64.compare len64 0L < 0
+           || Int64.compare len64 (Int64.of_int d.max_frame) > 0
+        then begin
+          let msg =
+            Printf.sprintf "frame length %Ld exceeds cap %d" len64 d.max_frame
+          in
+          d.poisoned <- Some msg;
+          Buffer.clear d.buf;
+          Bad msg
+        end
+        else
+          let len = Int64.to_int len64 in
+          if have < 8 + len then Need_more
+          else begin
+            let payload = Buffer.sub d.buf 8 len in
+            let rest = Buffer.sub d.buf (8 + len) (have - 8 - len) in
+            Buffer.clear d.buf;
+            Buffer.add_string d.buf rest;
+            Frame payload
+          end
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Requests *)
+
+type request = {
+  source : string;
+  env : (string * int) list;
+  procs : int;
+  deadline : float option;
+  hang : float;
+  crash : bool;
+}
+
+let request ?(env = []) ?(procs = 4) ?deadline ?(hang = 0.) ?(crash = false)
+    source =
+  { source; env; procs; deadline; hang; crash }
+
+let encode_env env =
+  String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) env)
+
+let encode_request r =
+  let b = Buffer.create (String.length r.source + 64) in
+  Buffer.add_string b (Printf.sprintf "%%procs %d\n" r.procs);
+  if r.env <> [] then
+    Buffer.add_string b (Printf.sprintf "%%env %s\n" (encode_env r.env));
+  (match r.deadline with
+  | Some s -> Buffer.add_string b (Printf.sprintf "%%deadline %g\n" s)
+  | None -> ());
+  if r.hang > 0. then Buffer.add_string b (Printf.sprintf "%%hang %g\n" r.hang);
+  if r.crash then Buffer.add_string b "%crash\n";
+  Buffer.add_string b r.source;
+  Buffer.contents b
+
+(* Directive lines start with '%' and may only precede the program;
+   the first non-directive line starts the source verbatim. *)
+let parse_request text =
+  let exception Malformed of string in
+  let parse_env spec =
+    List.map
+      (fun kv ->
+        match String.index_opt kv '=' with
+        | Some i -> (
+            let k = String.sub kv 0 i in
+            let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+            match int_of_string_opt v with
+            | Some n when k <> "" -> (k, n)
+            | _ -> raise (Malformed (Printf.sprintf "bad binding %S" kv)))
+        | None -> raise (Malformed (Printf.sprintf "bad binding %S" kv)))
+      (String.split_on_char ',' spec)
+  in
+  let r = ref (request "") in
+  let rec go pos =
+    if pos >= String.length text then pos
+    else if text.[pos] <> '%' then pos
+    else begin
+      let eol =
+        match String.index_from_opt text pos '\n' with
+        | Some i -> i
+        | None -> String.length text
+      in
+      let line = String.sub text (pos + 1) (eol - pos - 1) in
+      let line = String.trim line in
+      let directive, arg =
+        match String.index_opt line ' ' with
+        | Some i ->
+            ( String.sub line 0 i,
+              String.trim (String.sub line (i + 1) (String.length line - i - 1))
+            )
+        | None -> (line, "")
+      in
+      (match directive with
+      | "procs" -> (
+          match int_of_string_opt arg with
+          | Some n when n >= 1 -> r := { !r with procs = n }
+          | _ -> raise (Malformed (Printf.sprintf "bad %%procs %S" arg)))
+      | "env" -> r := { !r with env = parse_env arg }
+      | "deadline" -> (
+          match float_of_string_opt arg with
+          | Some s when s > 0. -> r := { !r with deadline = Some s }
+          | _ -> raise (Malformed (Printf.sprintf "bad %%deadline %S" arg)))
+      | "hang" -> (
+          match float_of_string_opt arg with
+          | Some s when s >= 0. -> r := { !r with hang = s }
+          | _ -> raise (Malformed (Printf.sprintf "bad %%hang %S" arg)))
+      | "crash" -> r := { !r with crash = true }
+      | d -> raise (Malformed (Printf.sprintf "unknown directive %%%s" d)));
+      go (min (eol + 1) (String.length text))
+    end
+  in
+  match go 0 with
+  | pos ->
+      let source = String.sub text pos (String.length text - pos) in
+      if String.trim source = "" then
+        Result.Error "empty program"
+      else Result.Ok { !r with source }
+  | exception Malformed msg -> Result.Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Responses *)
+
+type status = Ok | Degraded | Error | Overload | Deadline
+
+let status_to_string = function
+  | Ok -> "ok"
+  | Degraded -> "degraded"
+  | Error -> "error"
+  | Overload -> "overload"
+  | Deadline -> "deadline"
+
+let status_of_string = function
+  | "ok" -> Some Ok
+  | "degraded" -> Some Degraded
+  | "error" -> Some Error
+  | "overload" -> Some Overload
+  | "deadline" -> Some Deadline
+  | _ -> None
+
+type response = {
+  status : status;
+  code : string option;
+  artifact_hits : int;
+  worker_requests : int;
+  elapsed_ms : float;
+  retry_after : float option;
+  body : string;
+}
+
+let response ?code ?(artifact_hits = 0) ?(worker_requests = 0)
+    ?(elapsed_ms = 0.) ?retry_after status body =
+  { status; code; artifact_hits; worker_requests; elapsed_ms; retry_after;
+    body }
+
+let separator = "---"
+
+let encode_response r =
+  let b = Buffer.create (String.length r.body + 128) in
+  Buffer.add_string b
+    (Printf.sprintf "%%status %s\n" (status_to_string r.status));
+  (match r.code with
+  | Some c -> Buffer.add_string b (Printf.sprintf "%%code %s\n" c)
+  | None -> ());
+  Buffer.add_string b (Printf.sprintf "%%artifact-hits %d\n" r.artifact_hits);
+  Buffer.add_string b
+    (Printf.sprintf "%%worker-requests %d\n" r.worker_requests);
+  Buffer.add_string b (Printf.sprintf "%%elapsed-ms %.3f\n" r.elapsed_ms);
+  (match r.retry_after with
+  | Some s -> Buffer.add_string b (Printf.sprintf "%%retry-after %g\n" s)
+  | None -> ());
+  Buffer.add_string b separator;
+  Buffer.add_char b '\n';
+  Buffer.add_string b r.body;
+  Buffer.contents b
+
+let parse_response text =
+  let exception Malformed of string in
+  let r = ref (response Error "") in
+  let seen_status = ref false in
+  let rec go pos =
+    if pos >= String.length text then
+      raise (Malformed "missing --- separator")
+    else begin
+      let eol =
+        match String.index_from_opt text pos '\n' with
+        | Some i -> i
+        | None -> String.length text
+      in
+      let line = String.sub text pos (eol - pos) in
+      if line = separator then min (eol + 1) (String.length text)
+      else begin
+        let line = String.trim line in
+        (if String.length line > 0 && line.[0] = '%' then
+           let line = String.sub line 1 (String.length line - 1) in
+           let directive, arg =
+             match String.index_opt line ' ' with
+             | Some i ->
+                 ( String.sub line 0 i,
+                   String.trim
+                     (String.sub line (i + 1) (String.length line - i - 1)) )
+             | None -> (line, "")
+           in
+           match directive with
+           | "status" -> (
+               match status_of_string arg with
+               | Some s ->
+                   seen_status := true;
+                   r := { !r with status = s }
+               | None -> raise (Malformed ("bad %status " ^ arg)))
+           | "code" -> r := { !r with code = Some arg }
+           | "artifact-hits" -> (
+               match int_of_string_opt arg with
+               | Some n -> r := { !r with artifact_hits = n }
+               | None -> raise (Malformed ("bad %artifact-hits " ^ arg)))
+           | "worker-requests" -> (
+               match int_of_string_opt arg with
+               | Some n -> r := { !r with worker_requests = n }
+               | None -> raise (Malformed ("bad %worker-requests " ^ arg)))
+           | "elapsed-ms" -> (
+               match float_of_string_opt arg with
+               | Some s -> r := { !r with elapsed_ms = s }
+               | None -> raise (Malformed ("bad %elapsed-ms " ^ arg)))
+           | "retry-after" -> (
+               match float_of_string_opt arg with
+               | Some s -> r := { !r with retry_after = Some s }
+               | None -> raise (Malformed ("bad %retry-after " ^ arg)))
+           | d -> raise (Malformed ("unknown directive %" ^ d))
+         else if line <> "" then
+           raise (Malformed ("unexpected line before separator: " ^ line)));
+        go (min (eol + 1) (String.length text))
+      end
+    end
+  in
+  match go 0 with
+  | pos ->
+      if not !seen_status then Result.Error "missing %status"
+      else
+        Result.Ok
+          { !r with body = String.sub text pos (String.length text - pos) }
+  | exception Malformed msg -> Result.Error msg

@@ -1,0 +1,120 @@
+(** Wire protocol for [dsmloc serve]: length-prefixed text frames plus
+    the request/response documents they carry.
+
+    The module is pure (no [unix] dependency): the daemon, the client
+    and the tests all share one {e total} codec, so a hostile byte
+    stream can produce [`Bad] but never an exception, a multi-gigabyte
+    allocation, or a hang.
+
+    {b Framing.}  Every message, both directions, is an 8-byte
+    big-endian payload length followed by that many bytes of UTF-8
+    text - the same frame shape as the worker-pool pipes (DESIGN.md
+    section 13.1), but carrying text instead of [Marshal] payloads
+    because the peer is another process, possibly another binary.  The
+    decoder validates the length against a hard cap {e before}
+    allocating: a corrupt or adversarial prefix yields [`Bad], never
+    [Out_of_memory].
+
+    {b Requests} are the surface language ({!Parse.program}) prefixed
+    by [%]-directive lines:
+
+    {v
+    %procs 8
+    %env N=32,M=16
+    %deadline 2.5
+    program jacobi2d
+    ...
+    v}
+
+    {b Responses} are [%]-directive lines, a [---] separator, then the
+    rendered report / diagnostics body. *)
+
+(** {1 Framing} *)
+
+val default_max_frame : int
+(** 16 MiB: larger than any realistic program or report, small enough
+    that a corrupt length prefix cannot hurt. *)
+
+val encode_frame : string -> bytes
+(** 8-byte big-endian length header followed by the payload. *)
+
+type decoder
+(** Incremental frame decoder: feed bytes as they arrive, pull frames
+    as they complete.  A decoder never reads ahead of one frame's
+    worth of buffered input and never allocates more than
+    [max_frame + 8] bytes. *)
+
+val decoder : ?max_frame:int -> unit -> decoder
+
+val feed : decoder -> bytes -> pos:int -> len:int -> unit
+(** Append [len] bytes of [b] starting at [pos] to the decoder's
+    buffer. *)
+
+val feed_string : decoder -> string -> unit
+
+type frame_result =
+  | Frame of string  (** one complete payload *)
+  | Need_more  (** the buffered input ends mid-header or mid-payload *)
+  | Bad of string
+      (** unrecoverable framing violation (negative or over-cap
+          length); the connection cannot be resynchronised *)
+
+val next : decoder -> frame_result
+(** Pull the next complete frame.  After [Bad] the decoder is poisoned:
+    every further [next] returns the same [Bad]. *)
+
+val buffered : decoder -> int
+(** Bytes currently buffered (a trickling peer's partial frame). *)
+
+(** {1 Requests} *)
+
+type request = {
+  source : string;  (** surface-language program text *)
+  env : (string * int) list;  (** parameter bindings, [%env] *)
+  procs : int;  (** processor count H, [%procs] (default 4) *)
+  deadline : float option;  (** seconds, [%deadline] *)
+  hang : float;
+      (** test hook, [%hang]: sleep this long in the worker before
+          analyzing (only honoured by a daemon started with test hooks
+          enabled) *)
+  crash : bool;
+      (** test hook, [%crash]: the worker SIGKILLs itself (ditto) *)
+}
+
+val request : ?env:(string * int) list -> ?procs:int -> ?deadline:float ->
+  ?hang:float -> ?crash:bool -> string -> request
+(** Request with defaults over a program source. *)
+
+val encode_request : request -> string
+
+val parse_request : string -> (request, string) result
+(** Total: malformed directives are an [Error], never an exception. *)
+
+(** {1 Responses} *)
+
+type status =
+  | Ok  (** analysis completed cleanly *)
+  | Degraded  (** completed on a documented fallback (exit 2 contract) *)
+  | Error  (** request-level failure: parse error, crashed worker... *)
+  | Overload  (** shed by admission control; retry after the hint *)
+  | Deadline  (** the per-request deadline expired; the worker was killed *)
+
+val status_to_string : status -> string
+val status_of_string : string -> status option
+
+type response = {
+  status : status;
+  code : string option;  (** stable diagnostic code ([SERVE-*]) on failures *)
+  artifact_hits : int;  (** artifact-store hits while serving this request *)
+  worker_requests : int;  (** requests served by the worker, this one included *)
+  elapsed_ms : float;  (** wall time inside the daemon (queue + service) *)
+  retry_after : float option;  (** seconds, on [Overload] *)
+  body : string;  (** report text, diagnostics table, or error message *)
+}
+
+val response :
+  ?code:string -> ?artifact_hits:int -> ?worker_requests:int ->
+  ?elapsed_ms:float -> ?retry_after:float -> status -> string -> response
+
+val encode_response : response -> string
+val parse_response : string -> (response, string) result

@@ -60,11 +60,10 @@ let analyze_raw (prog : program) (ph : phase) : t =
   { prog; phase = ph; loops; par; sites; assume }
 
 let analyze (prog : program) (ph : phase) : t =
-  Artifact.find cache
-    (Artifact.Key.list [ program_key prog; phase_key ph ])
-    (fun () -> analyze_raw prog ph)
+  Artifact.find cache (phase_context_key prog ph) (fun () ->
+      analyze_raw prog ph)
 
-let key (t : t) = Artifact.Key.list [ program_key t.prog; phase_key t.phase ]
+let key (t : t) = phase_context_key t.prog t.phase
 
 let sites_of_array t name =
   List.filter (fun s -> String.equal s.ref_.array name) t.sites

@@ -39,8 +39,10 @@ val analyze : program -> phase -> t
     array is undeclared. *)
 
 val key : t -> Artifact.Key.t
-(** [program_key prog; phase_key phase] - the context's identity for
-    caches whose values depend on the analyzed phase. *)
+(** {!Ir.Types.phase_context_key} of the analyzed phase - the context's
+    identity for caches whose values depend on it.  Deliberately
+    excludes sibling phases, so per-phase artifacts survive edits to
+    the rest of the program (warm-serving incremental reuse). *)
 
 val sites_of_array : t -> string -> site list
 val loop_index : t -> string -> int

@@ -111,20 +111,32 @@ and loop_key (l : loop) =
 let phase_key (ph : phase) =
   Artifact.Key.(list [ str ph.phase_name; loop_key ph.nest ])
 
+let arrays_key (p : program) =
+  Artifact.Key.(
+    list
+      (List.map
+         (fun (a : array_decl) ->
+           list [ str a.name; list (List.map expr a.dims) ])
+         p.arrays))
+
 let program_key (p : program) =
   Artifact.Key.(
     list
       [
         str p.prog_name;
         Assume.key p.params;
-        list
-          (List.map
-             (fun (a : array_decl) ->
-               list [ str a.name; list (List.map expr a.dims) ])
-             p.arrays);
+        arrays_key p;
         list (List.map phase_key p.phases);
         bool p.repeats;
       ])
+
+(* Identity of one phase *in context*: the phase's own syntax plus the
+   parts of the program it can actually observe (parameter domains and
+   array declarations) - deliberately NOT the sibling phases, so an
+   edited program re-analyzes only the phases whose digests changed
+   while the warm server reuses the rest. *)
+let phase_context_key (p : program) (ph : phase) =
+  Artifact.Key.(list [ Assume.key p.params; arrays_key p; phase_key ph ])
 
 let array_decl p name = List.find (fun (a : array_decl) -> String.equal a.name name) p.arrays
 

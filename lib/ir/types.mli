@@ -61,6 +61,13 @@ val program_key : program -> Artifact.Key.t
     (interned expression leaves), used by every cache keyed on a program
     or phase. *)
 
+val phase_context_key : program -> phase -> Artifact.Key.t
+(** Identity of one phase in context: the phase's syntax plus what it
+    can observe of the program (parameter domains, array declarations)
+    but {e not} its sibling phases - the key per-phase caches use so
+    that editing one phase of a program invalidates only that phase's
+    artifacts (the warm-serving incremental-reuse contract). *)
+
 val equal_access : access -> access -> bool
 val pp_access : Format.formatter -> access -> unit
 val pp_ref : Format.formatter -> array_ref -> unit

@@ -1,0 +1,195 @@
+#!/usr/bin/env bash
+# Torture run for `dsmloc serve`: >=1000 mixed requests (warm repeats,
+# edits, malformed programs, corrupt frames, deadline-busters, worker
+# crashes, an overload burst, SIGTERM under load) against one daemon.
+# Passes only if the daemon never crashes or hangs, every request gets
+# the contractually right exit code, worker memory stays bounded
+# (recycling engaged), and warm serving is faster than cold.
+set -euo pipefail
+
+DSMLOC=${DSMLOC:-_build/default/bin/dsmloc.exe}
+CLIENTS=${CLIENTS:-8}
+PER_CLIENT=${PER_CLIENT:-125}   # CLIENTS * PER_CLIENT >= 1000
+TOTAL=$((CLIENTS * PER_CLIENT))
+# Recycle threshold: low enough that even a reduced CI-sized run forces
+# at least one planned worker recycle (crash/deadline respawns reset
+# the per-worker job counter, so leave generous headroom).
+_mwj=$(( TOTAL / 16 < 64 ? TOTAL / 16 : 64 ))
+MAX_WORKER_JOBS=${MAX_WORKER_JOBS:-$(( _mwj < 4 ? 4 : _mwj ))}
+WORK=$(mktemp -d /tmp/dsmloc-torture.XXXXXX)
+SOCK="$WORK/serve.sock"
+LOG="$WORK/serve.log"
+
+[ -x "$DSMLOC" ] || { echo "build first: dune build ($DSMLOC missing)"; exit 1; }
+
+cleanup() {
+  [ -n "${DAEMON_PID:-}" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+  [ -n "${BURST_PID:-}" ] && kill -9 "$BURST_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; tail -5 "$LOG" >&2 || true; exit 1; }
+
+alive() { kill -0 "$DAEMON_PID" 2>/dev/null; }
+
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+# ------------------------------------------------------------------
+# Program corpus: the jacobi sample plus per-client edited variants
+# (different work weights -> different phase digests).
+SRC=examples/programs/jacobi.dsm
+[ -f "$SRC" ] || SRC=../examples/programs/jacobi.dsm
+[ -f "$SRC" ] || fail "jacobi.dsm sample not found"
+cp "$SRC" "$WORK/base.dsm"
+for i in 1 2 3 4; do
+  sed "s/work 4/work $((4 + i))/" "$WORK/base.dsm" > "$WORK/edit$i.dsm"
+done
+printf 'program broken\nreal A(\n' > "$WORK/broken.dsm"
+
+# ------------------------------------------------------------------
+echo "== starting daemon (4 workers, recycle every $MAX_WORKER_JOBS jobs)"
+"$DSMLOC" serve --socket "$SOCK" --workers 4 --queue-cap 128 \
+  --max-worker-jobs "$MAX_WORKER_JOBS" --max-worker-rss-kb 524288 \
+  --drain-deadline 5 --test-hooks 2> "$LOG" &
+DAEMON_PID=$!
+for _ in $(seq 100); do [ -S "$SOCK" ] && break; sleep 0.05; done
+[ -S "$SOCK" ] || fail "daemon did not come up"
+
+req() { "$DSMLOC" request "$@" --socket "$SOCK" --timeout 60 --quiet >/dev/null 2>&1; }
+
+# ------------------------------------------------------------------
+echo "== cold vs warm"
+t0=$(now_ms); req "$WORK/base.dsm" --env N=40 || fail "cold request"; t1=$(now_ms)
+COLD=$(( t1 - t0 ))
+req "$WORK/base.dsm" --env N=40 || fail "warm prime"
+t0=$(now_ms); req "$WORK/base.dsm" --env N=40 || fail "warm request"; t1=$(now_ms)
+WARM=$(( t1 - t0 ))
+echo "   cold ${COLD}ms, warm ${WARM}ms"
+[ "$WARM" -lt "$COLD" ] || fail "warm (${WARM}ms) not faster than cold (${COLD}ms)"
+
+# ------------------------------------------------------------------
+echo "== $TOTAL mixed requests on $CLIENTS concurrent clients"
+client() {
+  local id=$1 n rc prog
+  for n in $(seq "$PER_CLIENT"); do
+    case $(( (id * PER_CLIENT + n) % 50 )) in
+      7)  # malformed program: contract says exit 1 (SERVE-PARSE)
+          rc=0; req "$WORK/broken.dsm" || rc=$?
+          [ "$rc" -eq 1 ] || { echo "req $id.$n: broken -> exit $rc"; return 1; } ;;
+      19) # deadline-buster: exit 4 (SERVE-DEADLINE)
+          rc=0; req "$WORK/base.dsm" --hang 30 --deadline 0.3 || rc=$?
+          [ "$rc" -eq 4 ] || { echo "req $id.$n: deadline -> exit $rc"; return 1; } ;;
+      37) # worker crash: exit 1 (SERVE-WORKER-LOST), fleet must survive
+          rc=0; req "$WORK/base.dsm" --crash || rc=$?
+          [ "$rc" -eq 1 ] || { echo "req $id.$n: crash -> exit $rc"; return 1; } ;;
+      *)  # honest analysis: warm repeats + per-client edited variants
+          prog=$WORK/base.dsm
+          [ $(( n % 5 )) -eq 0 ] && prog=$WORK/edit$(( (id % 4) + 1 )).dsm
+          rc=0; req "$prog" --env N=$(( 16 + (n % 8) * 4 )) || rc=$?
+          [ "$rc" -eq 0 ] || { echo "req $id.$n: honest -> exit $rc"; return 1; } ;;
+    esac
+  done
+}
+CLIENT_PIDS=()
+for c in $(seq "$CLIENTS"); do
+  client "$c" > "$WORK/client$c.out" 2>&1 &
+  CLIENT_PIDS+=($!)
+done
+FAILED=0
+for pid in "${CLIENT_PIDS[@]}"; do
+  wait "$pid" || FAILED=1
+done
+for c in $(seq "$CLIENTS"); do
+  if [ -s "$WORK/client$c.out" ]; then cat "$WORK/client$c.out" >&2; FAILED=1; fi
+done
+[ "$FAILED" -eq 0 ] || fail "client errors above"
+alive || fail "daemon died during the torture loop"
+
+# ------------------------------------------------------------------
+echo "== corrupt and truncated frames"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SOCK" <<'EOF'
+import socket, sys
+for payload in [b'\xff' * 8,                # absurd length prefix
+                b'\x00\x00\x00\x00\x00\x00\x00\x64partial',  # truncated
+                b'garbage']:                # not even a header
+    for _ in range(3):
+        s = socket.socket(socket.AF_UNIX)
+        s.settimeout(1)   # partial frames never get a reply: don't linger
+        s.connect(sys.argv[1])
+        s.sendall(payload)
+        try: s.recv(4096)
+        except OSError: pass
+        s.close()
+EOF
+else
+  echo "   (python3 missing, skipping raw-frame probes)"
+fi
+req "$WORK/base.dsm" --env N=40 || fail "daemon unhealthy after corrupt frames"
+alive || fail "daemon died on corrupt frames"
+
+# ------------------------------------------------------------------
+echo "== memory bounded (recycling under load)"
+RSS_KB=$(
+  { ps -o rss= -p "$DAEMON_PID" 2>/dev/null
+    for p in $(pgrep -P "$DAEMON_PID" 2>/dev/null); do
+      ps -o rss= -p "$p" 2>/dev/null
+    done; } | awk '{s+=$1} END {print s+0}')
+echo "   daemon+workers RSS ${RSS_KB}kB after the loop"
+[ "$RSS_KB" -lt 2097152 ] || fail "fleet RSS ${RSS_KB}kB exceeds 2GiB"
+
+# ------------------------------------------------------------------
+echo "== overload burst (dedicated 1-worker daemon, queue cap 1)"
+BSOCK="$WORK/burst.sock"
+"$DSMLOC" serve --socket "$BSOCK" --workers 1 --queue-cap 1 --test-hooks \
+  2> "$WORK/burst.log" &
+BURST_PID=$!
+for _ in $(seq 100); do [ -S "$BSOCK" ] && break; sleep 0.05; done
+BURST_CLIENT_PIDS=()
+for i in $(seq 6); do
+  ( set +e   # the request's exit code is data here, not a failure
+    "$DSMLOC" request "$WORK/base.dsm" --socket "$BSOCK" --hang 0.5 \
+      --timeout 60 --quiet >/dev/null 2>&1
+    echo $? > "$WORK/burst$i.rc" ) &
+  BURST_CLIENT_PIDS+=($!)
+done
+for pid in "${BURST_CLIENT_PIDS[@]}"; do wait "$pid" || true; done
+SHED=0; SERVED=0
+for i in $(seq 6); do
+  rc=$(cat "$WORK/burst$i.rc")
+  case "$rc" in
+    0) SERVED=$((SERVED + 1)) ;;
+    3) SHED=$((SHED + 1)) ;;
+    *) fail "burst request exited $rc (want 0 or 3)" ;;
+  esac
+done
+echo "   served $SERVED, shed $SHED"
+[ "$SHED" -ge 1 ] || fail "no request was shed under a 6-deep burst"
+[ "$SERVED" -ge 1 ] || fail "no request was served under the burst"
+kill -TERM "$BURST_PID"; wait "$BURST_PID" || fail "burst daemon exited non-zero"
+BURST_PID=
+
+# ------------------------------------------------------------------
+echo "== SIGTERM under load drains gracefully"
+req "$WORK/base.dsm" --env N=40 || fail "pre-drain request"
+( req "$WORK/base.dsm" --hang 1 || true ) &
+sleep 0.2
+kill -TERM "$DAEMON_PID"
+DRAIN_START=$(now_ms)
+if ! timeout 30 tail --pid="$DAEMON_PID" -f /dev/null 2>/dev/null; then
+  while alive && [ $(( $(now_ms) - DRAIN_START )) -lt 30000 ]; do sleep 0.1; done
+fi
+alive && fail "daemon ignored SIGTERM for 30s"
+wait "$DAEMON_PID" || fail "daemon exited non-zero on SIGTERM"
+DAEMON_PID=
+[ -S "$SOCK" ] && fail "socket not removed on shutdown"
+grep -q "final metrics" "$LOG" || fail "no final metrics snapshot"
+RECYCLES=$(grep -o '"pool.recycles":[0-9]*' "$LOG" | tail -1 | cut -d: -f2)
+REQUESTS=$(grep -o '"serve.requests":[0-9]*' "$LOG" | tail -1 | cut -d: -f2)
+echo "   served ${REQUESTS:-?} requests, ${RECYCLES:-?} worker recycles"
+[ "${REQUESTS:-0}" -ge "$TOTAL" ] || fail "daemon served ${REQUESTS:-0} < $TOTAL requests"
+[ "${RECYCLES:-0}" -ge 1 ] || fail "recycling never engaged across ${REQUESTS:-?} requests"
+
+wait 2>/dev/null || true
+echo "PASS: ${REQUESTS} requests, 0 daemon crashes/hangs, warm ${WARM}ms < cold ${COLD}ms, ${RECYCLES} recycles, fleet RSS ${RSS_KB}kB"

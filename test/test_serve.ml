@@ -1,0 +1,560 @@
+(* Tests for `dsmloc serve`: the total wire codec under hostile input,
+   the pool's deadline and frame-cap hardening, the persistent Server
+   fleet (warm workers, overload shedding, recycling), incremental
+   phase-key reuse, and the daemon end-to-end over a real Unix-domain
+   socket - including malformed frames, hung and crashing workers,
+   an overload burst, and SIGTERM drain. *)
+
+module W = Frontend.Wire
+module P = Core.Pool
+module S = Core.Server
+
+let jacobi_src =
+  {|program jacobi2d
+param N = 8..64
+real U(N,N)
+real V(N,N)
+repeat
+
+phase SWEEP:
+  doall I = 1, N-2
+    do J = 1, N-2
+      V(I,J) = U(I-1,J) + U(I+1,J) + U(I,J-1) + U(I,J+1) work 4
+    end
+  end
+
+phase COPY:
+  doall I = 1, N-2
+    do J = 1, N-2
+      U(I,J) = V(I,J) work 1
+    end
+  end
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec *)
+
+let test_frame_roundtrip () =
+  let payload = "hello \xc3\xa9 world" in
+  let frame = W.encode_frame payload in
+  let d = W.decoder () in
+  W.feed d frame ~pos:0 ~len:(Bytes.length frame);
+  (match W.next d with
+  | W.Frame p -> Alcotest.(check string) "payload back" payload p
+  | _ -> Alcotest.fail "expected a frame");
+  Alcotest.(check bool) "drained" true (W.next d = W.Need_more)
+
+let test_frame_trickle () =
+  (* a slow-trickle peer: one byte per feed, frame still comes out *)
+  let frame = W.encode_frame "trickle" in
+  let d = W.decoder () in
+  Bytes.iteri
+    (fun i _ ->
+      (match W.next d with
+      | W.Need_more -> ()
+      | W.Frame _ when i = Bytes.length frame - 1 -> ()
+      | _ -> Alcotest.fail "frame before all bytes arrived");
+      W.feed d frame ~pos:i ~len:1)
+    frame;
+  match W.next d with
+  | W.Frame p -> Alcotest.(check string) "payload" "trickle" p
+  | _ -> Alcotest.fail "expected the frame after the last byte"
+
+let test_frame_oversized_poisons () =
+  (* a length prefix over the cap is Bad before any allocation, and the
+     decoder stays poisoned *)
+  let d = W.decoder ~max_frame:1024 () in
+  let hdr = Bytes.make 8 '\xff' in
+  W.feed d hdr ~pos:0 ~len:8;
+  (match W.next d with
+  | W.Bad _ -> ()
+  | _ -> Alcotest.fail "oversized length must be Bad");
+  W.feed_string d "more bytes";
+  match W.next d with
+  | W.Bad _ -> ()
+  | _ -> Alcotest.fail "decoder must stay poisoned after Bad"
+
+let test_frame_truncated () =
+  let frame = W.encode_frame (String.make 100 'x') in
+  let d = W.decoder () in
+  W.feed d frame ~pos:0 ~len:30;
+  Alcotest.(check bool) "mid-payload" true (W.next d = W.Need_more);
+  Alcotest.(check int) "buffered the partial" 30 (W.buffered d)
+
+let test_request_roundtrip () =
+  let req =
+    W.request ~env:[ ("N", 32); ("M", 16) ] ~procs:8 ~deadline:2.5 ~hang:0.25
+      ~crash:true jacobi_src
+  in
+  match W.parse_request (W.encode_request req) with
+  | Error e -> Alcotest.failf "roundtrip: %s" e
+  | Ok r ->
+      Alcotest.(check string) "source" jacobi_src r.W.source;
+      Alcotest.(check (list (pair string int)))
+        "env"
+        [ ("N", 32); ("M", 16) ]
+        r.W.env;
+      Alcotest.(check int) "procs" 8 r.W.procs;
+      Alcotest.(check bool) "deadline" true (r.W.deadline = Some 2.5);
+      Alcotest.(check (float 1e-9)) "hang" 0.25 r.W.hang;
+      Alcotest.(check bool) "crash" true r.W.crash
+
+let test_request_malformed () =
+  let bad s =
+    match W.parse_request s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "should not parse: %S" s
+  in
+  bad "%bogus 3\nprogram p\n";
+  bad "%procs many\nprogram p\n";
+  bad "%env N\nprogram p\n";
+  bad "%deadline soon\nprogram p\n"
+
+let test_response_roundtrip () =
+  (* the body may itself contain a line of dashes; only the first
+     separator counts *)
+  let body = "report\n---\nnot a separator\n" in
+  let resp =
+    W.response ~code:"SERVE-OVERLOAD" ~artifact_hits:3 ~worker_requests:7
+      ~elapsed_ms:12.5 ~retry_after:0.25 W.Overload body
+  in
+  match W.parse_response (W.encode_response resp) with
+  | Error e -> Alcotest.failf "roundtrip: %s" e
+  | Ok r ->
+      Alcotest.(check bool) "status" true (r.W.status = W.Overload);
+      Alcotest.(check bool) "code" true (r.W.code = Some "SERVE-OVERLOAD");
+      Alcotest.(check int) "hits" 3 r.W.artifact_hits;
+      Alcotest.(check int) "worker requests" 7 r.W.worker_requests;
+      Alcotest.(check bool) "retry-after" true (r.W.retry_after = Some 0.25);
+      Alcotest.(check string) "body" body r.W.body
+
+(* ------------------------------------------------------------------ *)
+(* Pool.map hardening *)
+
+let counter name =
+  let snap = Core.Metrics.snapshot () in
+  try List.assoc name snap.Core.Metrics.counters with Not_found -> 0
+
+let test_map_deadline () =
+  (* a worker stuck in a 60s job is SIGKILLed at the 0.3s deadline and
+     the job fails with POOL-DEADLINE; siblings are untouched *)
+  let kills0 = counter "pool.deadline_kills" in
+  let f ~attempt:_ j =
+    if j = 1 then Unix.sleepf 60.;
+    j * 2
+  in
+  let outcomes, _ = P.map ~workers:2 ~retries:0 ~deadline:0.3 ~f [ 0; 1; 2 ] in
+  (match List.nth outcomes 1 with
+  | P.Failed { reasons; _ } ->
+      Alcotest.(check bool) "POOL-DEADLINE reason" true
+        (List.exists
+           (fun r ->
+             let n = String.length r and p = "POOL-DEADLINE" in
+             let m = String.length p in
+             let rec go k = k + m <= n && (String.sub r k m = p || go (k + 1)) in
+             go 0)
+           reasons)
+  | P.Done _ -> Alcotest.fail "hung job cannot succeed");
+  List.iter
+    (fun j ->
+      match List.nth outcomes j with
+      | P.Done d -> Alcotest.(check int) "sibling" (j * 2) d.value
+      | P.Failed _ -> Alcotest.failf "job %d lost to the hung sibling" j)
+    [ 0; 2 ];
+  Alcotest.(check bool) "deadline kill counted" true
+    (counter "pool.deadline_kills" > kills0)
+
+(* ------------------------------------------------------------------ *)
+(* Pool.Server: the persistent fleet *)
+
+let rec collect srv n acc deadline =
+  if n <= 0 then List.rev acc
+  else if Unix.gettimeofday () > deadline then
+    Alcotest.failf "timed out waiting for %d more completions" n
+  else
+    let cs = P.Server.wait_step srv ~timeout:0.2 in
+    collect srv (n - List.length cs) (List.rev_append cs acc) deadline
+
+let collect_n srv n = collect srv n [] (Unix.gettimeofday () +. 30.)
+
+let submit_ok srv ?affinity ?deadline x =
+  match P.Server.submit srv ?affinity ?deadline x with
+  | Ok id -> id
+  | Error `Overloaded -> Alcotest.fail "unexpected overload"
+
+let test_server_warm () =
+  (* one worker, no reset between jobs: c_worker_jobs counts up *)
+  let srv = P.Server.create ~workers:1 ~f:(fun x -> x * x) () in
+  Fun.protect ~finally:(fun () -> P.Server.destroy srv) @@ fun () ->
+  let ids = List.map (fun x -> submit_ok srv x) [ 2; 3; 4 ] in
+  let cs = collect_n srv 3 in
+  let by_id id = List.find (fun c -> c.P.Server.c_id = id) cs in
+  List.iteri
+    (fun i (x, id) ->
+      let c = by_id id in
+      (match c.P.Server.c_outcome with
+      | Ok v -> Alcotest.(check int) "value" (x * x) v
+      | Error (code, r) -> Alcotest.failf "job failed: %s %s" code r);
+      Alcotest.(check int) "worker stayed warm" (i + 1)
+        c.P.Server.c_worker_jobs)
+    (List.combine [ 2; 3; 4 ] ids)
+
+let test_server_result_cap () =
+  (* a worker whose result frame exceeds the cap is killed and the job
+     fails with POOL-BAD-FRAME instead of Out_of_memory in the parent *)
+  let srv =
+    P.Server.create ~workers:1 ~result_cap:256
+      ~f:(fun n -> String.make n 'x')
+      ()
+  in
+  Fun.protect ~finally:(fun () -> P.Server.destroy srv) @@ fun () ->
+  let _big = submit_ok srv 100_000 in
+  (match collect_n srv 1 with
+  | [ { P.Server.c_outcome = Error ("POOL-BAD-FRAME", _); _ } ] -> ()
+  | [ { P.Server.c_outcome = Error (code, r); _ } ] ->
+      Alcotest.failf "wrong code %s: %s" code r
+  | _ -> Alcotest.fail "oversized result cannot succeed");
+  (* the replacement worker serves small results fine *)
+  let _small = submit_ok srv 10 in
+  match collect_n srv 1 with
+  | [ { P.Server.c_outcome = Ok s; _ } ] ->
+      Alcotest.(check int) "fresh worker answers" 10 (String.length s)
+  | _ -> Alcotest.fail "pool must survive a bad frame"
+
+let test_server_overload () =
+  (* one busy worker + a 1-deep queue: the third concurrent submit is
+     shed with `Overloaded *)
+  let srv =
+    P.Server.create ~workers:1 ~queue_cap:1 ~f:(fun d -> Unix.sleepf d; 0) ()
+  in
+  Fun.protect ~finally:(fun () -> P.Server.destroy srv) @@ fun () ->
+  let _running = submit_ok srv 0.3 in
+  let _queued = submit_ok srv 0.0 in
+  (match P.Server.submit srv 0.0 with
+  | Error `Overloaded -> ()
+  | Ok _ -> Alcotest.fail "third submit must be shed");
+  Alcotest.(check int) "queue depth" 1 (P.Server.queue_depth srv);
+  let cs = collect_n srv 2 in
+  Alcotest.(check int) "both admitted jobs complete" 2 (List.length cs)
+
+let test_server_recycle () =
+  (* a worker is replaced after max_worker_jobs requests; the next job
+     runs on a cold (c_worker_jobs = 1) fork *)
+  let srv = P.Server.create ~workers:1 ~max_worker_jobs:2 ~f:(fun x -> x) () in
+  Fun.protect ~finally:(fun () -> P.Server.destroy srv) @@ fun () ->
+  let worker_jobs =
+    List.concat_map
+      (fun x ->
+        let _ = submit_ok srv x in
+        List.map
+          (fun c -> c.P.Server.c_worker_jobs)
+          (collect_n srv 1))
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "recycled after two jobs" [ 1; 2; 1 ] worker_jobs;
+  Alcotest.(check bool) "recycle counted" true (P.Server.recycles srv >= 1)
+
+let test_server_deadline () =
+  (* an in-flight job past its budget is killed with POOL-DEADLINE and
+     never retried; the fleet survives *)
+  let srv = P.Server.create ~workers:1 ~f:(fun d -> Unix.sleepf d; 1) () in
+  Fun.protect ~finally:(fun () -> P.Server.destroy srv) @@ fun () ->
+  let _hung = submit_ok srv ~deadline:0.3 60. in
+  (match collect_n srv 1 with
+  | [ { P.Server.c_outcome = Error ("POOL-DEADLINE", _); c_attempts; _ } ] ->
+      Alcotest.(check int) "deadlines are not retried" 1 c_attempts
+  | _ -> Alcotest.fail "hung job must fail with POOL-DEADLINE");
+  let _ok = submit_ok srv 0. in
+  match collect_n srv 1 with
+  | [ { P.Server.c_outcome = Ok 1; _ } ] -> ()
+  | _ -> Alcotest.fail "fleet must survive a deadline kill"
+
+let test_server_drain () =
+  (* drain finishes queued work within the deadline, kills past it *)
+  let srv = P.Server.create ~workers:1 ~f:(fun d -> Unix.sleepf d; 0) () in
+  let _fast = submit_ok srv 0.05 in
+  let _slow = submit_ok srv 60. in
+  let cs = P.Server.drain srv ~deadline:0.5 in
+  P.Server.destroy srv;
+  Alcotest.(check int) "both jobs completed one way or the other" 2
+    (List.length cs);
+  let oks, errs =
+    List.partition (fun c -> Result.is_ok c.P.Server.c_outcome) cs
+  in
+  Alcotest.(check int) "fast job finished" 1 (List.length oks);
+  match errs with
+  | [ { P.Server.c_outcome = Error ("POOL-DRAIN", _); _ } ] -> ()
+  | _ -> Alcotest.fail "slow job must be killed with POOL-DRAIN"
+
+(* ------------------------------------------------------------------ *)
+(* Incremental phase-key reuse: editing one phase must not invalidate
+   the sibling's cached analysis (the warm-serving contract). *)
+
+let store_hits name =
+  match List.find_opt (fun s -> s.Symbolic.Artifact.s_name = name)
+          (Symbolic.Artifact.stats ())
+  with
+  | Some s -> s.Symbolic.Artifact.hits
+  | None -> 0
+
+let test_phase_key_incremental () =
+  let edited =
+    (* same SWEEP phase, different COPY body (scaled copy) *)
+    String.concat "\n"
+      (List.map
+         (fun line ->
+           if line = "      U(I,J) = V(I,J) work 1" then
+             "      U(I,J) = V(I,J) + V(I,J) work 2"
+           else line)
+         (String.split_on_char '\n' jacobi_src))
+  in
+  let p1 = Frontend.Parse.program jacobi_src in
+  let p2 = Frontend.Parse.program edited in
+  Alcotest.(check bool) "the edit changed the program" true (p1 <> p2);
+  (* prime the cache from a clean slate *)
+  Symbolic.Artifact.clear_all ();
+  List.iter (fun ph -> ignore (Ir.Phase.analyze p1 ph)) p1.Ir.Types.phases;
+  let hits0 = store_hits "phase.analyze" in
+  List.iter (fun ph -> ignore (Ir.Phase.analyze p2 ph)) p2.Ir.Types.phases;
+  let hits1 = store_hits "phase.analyze" in
+  (* exactly the untouched SWEEP phase is reused; the edited COPY is
+     re-analyzed *)
+  Alcotest.(check int) "one sibling phase reused" (hits0 + 1) hits1;
+  Alcotest.(check bool) "keys differ for the edited phase" true
+    (Ir.Types.phase_context_key p1 (List.nth p1.phases 1)
+    <> Ir.Types.phase_context_key p2 (List.nth p2.phases 1));
+  Alcotest.(check bool) "keys agree for the untouched phase" true
+    (Ir.Types.phase_context_key p1 (List.hd p1.phases)
+    = Ir.Types.phase_context_key p2 (List.hd p2.phases))
+
+(* ------------------------------------------------------------------ *)
+(* Daemon end-to-end over a real socket *)
+
+let temp_sock () =
+  let path = Filename.temp_file "dsmloc-serve" ".sock" in
+  Sys.remove path;
+  path
+
+let start_daemon ?(workers = 2) ?(queue_cap = 64) ?default_deadline
+    ?(test_hooks = true) () =
+  let sock = temp_sock () in
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    (* the daemon: silence its stderr, serve until SIGTERM *)
+    (try
+       let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+       Unix.dup2 devnull Unix.stderr;
+       Unix.close devnull;
+       S.run
+         {
+           S.default_config with
+           socket = Some sock;
+           workers;
+           queue_cap;
+           default_deadline;
+           test_hooks;
+         }
+     with _ -> Unix._exit 1);
+    Unix._exit 0
+  end;
+  let rec wait n =
+    if Sys.file_exists sock then ()
+    else if n = 0 then Alcotest.fail "daemon did not come up"
+    else begin
+      Unix.sleepf 0.05;
+      wait (n - 1)
+    end
+  in
+  wait 100;
+  (sock, pid)
+
+let stop_daemon (sock, pid) =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  let _, status = Unix.waitpid [] pid in
+  Alcotest.(check bool) "daemon exited cleanly" true (status = Unix.WEXITED 0);
+  Alcotest.(check bool) "socket removed on shutdown" false
+    (Sys.file_exists sock)
+
+let request_ok sock req =
+  match S.Client.request ~socket:sock ~timeout:30. req with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "transport failure: %s" e
+
+let test_daemon_warm_repeat () =
+  let ((sock, _) as d) = start_daemon () in
+  Fun.protect ~finally:(fun () -> stop_daemon d) @@ fun () ->
+  let req = W.request ~env:[ ("N", 32) ] ~procs:4 jacobi_src in
+  let r1 = request_ok sock req in
+  Alcotest.(check bool) "first request ok" true (r1.W.status = W.Ok);
+  Alcotest.(check bool) "report produced" true (String.length r1.W.body > 100);
+  Alcotest.(check int) "served cold" 1 r1.W.worker_requests;
+  let r2 = request_ok sock req in
+  Alcotest.(check bool) "repeat ok" true (r2.W.status = W.Ok);
+  Alcotest.(check string) "byte-identical reply" r1.W.body r2.W.body;
+  Alcotest.(check bool) "repeat hit the warm artifact" true
+    (r2.W.artifact_hits > 0);
+  Alcotest.(check int) "affinity routed to the warm worker" 2
+    r2.W.worker_requests;
+  (* a different env is a different key: re-analyzed, not served stale *)
+  let r3 = request_ok sock (W.request ~env:[ ("N", 16) ] ~procs:4 jacobi_src) in
+  Alcotest.(check bool) "edited env ok" true (r3.W.status = W.Ok);
+  Alcotest.(check bool) "different env, different report" true
+    (r3.W.body <> r1.W.body)
+
+let test_daemon_bad_inputs () =
+  let ((sock, _) as d) = start_daemon () in
+  Fun.protect ~finally:(fun () -> stop_daemon d) @@ fun () ->
+  (* an unparsable program is a structured SERVE-PARSE error *)
+  let r = request_ok sock (W.request "program broken\nreal A(\n") in
+  Alcotest.(check bool) "parse error status" true (r.W.status = W.Error);
+  Alcotest.(check bool) "SERVE-PARSE" true (r.W.code = Some "SERVE-PARSE");
+  (* a malformed directive line is rejected on admission *)
+  let r =
+    match
+      S.Client.raw ~socket:sock ~timeout:30.
+        (W.encode_frame "%bogus directive\nprogram p\n")
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "transport failure: %s" e
+  in
+  Alcotest.(check bool) "SERVE-BAD-REQUEST" true
+    (r.W.code = Some "SERVE-BAD-REQUEST");
+  (* a corrupt length prefix is SERVE-BAD-FRAME, never an allocation *)
+  let r =
+    match S.Client.raw ~socket:sock ~timeout:30. (Bytes.make 8 '\xff') with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "transport failure: %s" e
+  in
+  Alcotest.(check bool) "SERVE-BAD-FRAME" true
+    (r.W.code = Some "SERVE-BAD-FRAME");
+  (* a truncated frame followed by disconnect must not wedge the daemon *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let partial = Bytes.sub (W.encode_frame (String.make 100 'x')) 0 20 in
+  ignore (Unix.write fd partial 0 (Bytes.length partial));
+  Unix.sleepf 0.1;
+  Unix.close fd;
+  (* ... and analysis still works afterwards *)
+  let r = request_ok sock (W.request ~env:[ ("N", 16) ] jacobi_src) in
+  Alcotest.(check bool) "daemon healthy after hostile peer" true
+    (r.W.status = W.Ok)
+
+let test_daemon_deadline_and_crash () =
+  let ((sock, _) as d) = start_daemon ~workers:1 () in
+  Fun.protect ~finally:(fun () -> stop_daemon d) @@ fun () ->
+  (* %hang past the %deadline: the worker is killed, SERVE-DEADLINE *)
+  let r =
+    request_ok sock (W.request ~deadline:0.4 ~hang:60. jacobi_src)
+  in
+  Alcotest.(check bool) "deadline status" true (r.W.status = W.Deadline);
+  Alcotest.(check bool) "SERVE-DEADLINE" true
+    (r.W.code = Some "SERVE-DEADLINE");
+  (* %crash: the worker dies on every attempt, SERVE-WORKER-LOST *)
+  let r = request_ok sock (W.request ~crash:true jacobi_src) in
+  Alcotest.(check bool) "worker-lost status" true (r.W.status = W.Error);
+  Alcotest.(check bool) "SERVE-WORKER-LOST" true
+    (r.W.code = Some "SERVE-WORKER-LOST");
+  (* the single worker slot was respawned both times *)
+  let r = request_ok sock (W.request ~env:[ ("N", 16) ] jacobi_src) in
+  Alcotest.(check bool) "healthy after kill and crash" true
+    (r.W.status = W.Ok)
+
+(* the burst test needs send-all-then-read-all, which the one-shot
+   Client cannot do: drive the sockets by hand *)
+let test_daemon_overload_burst () =
+  let ((sock, _) as d) =
+    start_daemon ~workers:1 ~queue_cap:1 ()
+  in
+  Fun.protect ~finally:(fun () -> stop_daemon d) @@ fun () ->
+  let frame = W.encode_frame (W.encode_request (W.request ~hang:0.4 jacobi_src)) in
+  let fds =
+    List.init 4 (fun _ ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX sock);
+        ignore (Unix.write fd frame 0 (Bytes.length frame));
+        fd)
+  in
+  let deadline = Unix.gettimeofday () +. 60. in
+  let responses =
+    List.map
+      (fun fd ->
+        let dec = W.decoder () in
+        let buf = Bytes.create 65536 in
+        let rec go () =
+          match W.next dec with
+          | W.Frame p -> (
+              match W.parse_response p with
+              | Ok r -> r
+              | Error e -> Alcotest.failf "bad response: %s" e)
+          | W.Bad e -> Alcotest.failf "bad frame: %s" e
+          | W.Need_more -> (
+              if Unix.gettimeofday () > deadline then
+                Alcotest.fail "timed out reading burst response";
+              match Unix.select [ fd ] [] [] 1.0 with
+              | [], _, _ -> go ()
+              | _ -> (
+                  match Unix.read fd buf 0 (Bytes.length buf) with
+                  | 0 -> Alcotest.fail "daemon closed without replying"
+                  | n ->
+                      W.feed dec buf ~pos:0 ~len:n;
+                      go ()))
+        in
+        let r = go () in
+        Unix.close fd;
+        r)
+      fds
+  in
+  let shed = List.filter (fun r -> r.W.status = W.Overload) responses in
+  let served = List.filter (fun r -> r.W.status = W.Ok) responses in
+  Alcotest.(check bool) "admission stayed bounded: some shed" true
+    (List.length shed >= 1);
+  Alcotest.(check bool) "some served" true (List.length served >= 1);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "shed carries SERVE-OVERLOAD" true
+        (r.W.code = Some "SERVE-OVERLOAD");
+      Alcotest.(check bool) "shed carries a retry-after hint" true
+        (match r.W.retry_after with Some t -> t > 0. | None -> false))
+    shed
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "trickle" `Quick test_frame_trickle;
+          Alcotest.test_case "oversized poisons" `Quick
+            test_frame_oversized_poisons;
+          Alcotest.test_case "truncated" `Quick test_frame_truncated;
+          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "request malformed" `Quick test_request_malformed;
+          Alcotest.test_case "response roundtrip" `Quick
+            test_response_roundtrip;
+        ] );
+      ( "pool-hardening",
+        [ Alcotest.test_case "map deadline" `Quick test_map_deadline ] );
+      ( "server",
+        [
+          Alcotest.test_case "warm workers" `Quick test_server_warm;
+          Alcotest.test_case "result frame cap" `Quick test_server_result_cap;
+          Alcotest.test_case "overload shed" `Quick test_server_overload;
+          Alcotest.test_case "recycling" `Quick test_server_recycle;
+          Alcotest.test_case "deadline kill" `Quick test_server_deadline;
+          Alcotest.test_case "drain" `Quick test_server_drain;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "phase key narrowing" `Quick
+            test_phase_key_incremental;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "warm repeat" `Quick test_daemon_warm_repeat;
+          Alcotest.test_case "hostile inputs" `Quick test_daemon_bad_inputs;
+          Alcotest.test_case "deadline and crash" `Quick
+            test_daemon_deadline_and_crash;
+          Alcotest.test_case "overload burst" `Quick
+            test_daemon_overload_burst;
+        ] );
+    ]
