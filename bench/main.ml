@@ -7,6 +7,8 @@
 
      dune exec bench/main.exe            # reproduce + time everything
      dune exec bench/main.exe -- quick   # reproduction only
+     dune exec bench/main.exe -- curve   # efficiency-vs-H curve only
+                                         # (H to 1024, sizes to 2^30)
 *)
 
 open Symbolic
@@ -631,6 +633,101 @@ let bench_pipeline () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Efficiency-vs-H curve under the closed-form accounting: H up to
+   1024 and size knobs up to 2^30 are far past what enumeration (or
+   the simulator) can sweep, so each point records the analysis wall
+   time, the Eq. 7 overhead, and the model-level efficiency estimate
+   (ideal per-processor work over work-plus-overhead).  Kernels whose
+   analysis leaves the closed-form fragment degrade and are reported
+   with [degraded=true] rather than silently skipped. *)
+
+let counter_value (snap : Metrics.snapshot) name =
+  match List.assoc_opt name snap.counters with Some v -> v | None -> 0
+
+let bench_curve () =
+  sep "Efficiency-vs-H curve, closed-form accounting (BENCH_pipeline.json)";
+  let hs = [ 4; 16; 64; 256; 1024 ] in
+  let size_exps = [ 10; 20; 30 ] in
+  let saved_mode = !Symbolic.Lattice.mode in
+  Symbolic.Lattice.mode := Symbolic.Lattice.Symbolic_only;
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"schema\":\"bench_curve/1\",\"rev\":\"%s\",\"date\":\"%s\",\"points\":["
+       (Metrics.json_escape (git_rev ()))
+       (Metrics.json_escape (utc_date ())));
+  Printf.printf "%-10s %6s %6s %10s %12s %7s %9s\n" "kernel" "size" "H"
+    "wall ms" "objective" "eff" "degraded";
+  let first = ref true in
+  List.iter
+    (fun (e : Codes.Registry.entry) ->
+      List.iter
+        (fun se ->
+          let env = e.env_of_size se in
+          List.iter
+            (fun h ->
+              let before = Metrics.snapshot () in
+              let t0 = Metrics.now () in
+              let t = Core.Pipeline.run e.program ~env ~h in
+              let wall = Metrics.now () -. t0 in
+              let after = Metrics.snapshot () in
+              let delta name =
+                counter_value after name - counter_value before name
+              in
+              let work =
+                List.fold_left
+                  (fun acc ph ->
+                    Option.bind acc (fun w ->
+                        match Ir.Shape.of_phase e.program env ph with
+                        | Some s -> Some (w + Ir.Shape.total_work s)
+                        | None | (exception _) -> None))
+                  (Some 0) e.program.Ir.Types.phases
+              in
+              let eff =
+                Option.map
+                  (fun w ->
+                    let ideal = float_of_int w /. float_of_int h in
+                    ideal /. (ideal +. t.solution.objective))
+                  work
+              in
+              let degraded = Core.Pipeline.degraded t in
+              Printf.printf "%-10s %6s %6d %10.2f %12.1f %7s %9b\n%!" e.name
+                (Printf.sprintf "2^%d" se) h (1000. *. wall)
+                t.solution.objective
+                (match eff with
+                | Some x -> Printf.sprintf "%5.1f%%" (100. *. x)
+                | None -> "-")
+                degraded;
+              if not !first then Buffer.add_char buf ',';
+              first := false;
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "{\"kernel\":\"%s\",\"size_log2\":%d,\"h\":%d,\"wall_seconds\":%s,\"objective\":%s,\"model_efficiency\":%s,\"degraded\":%b,\"fallbacks\":%d,\"enum_addresses\":%d}"
+                   (Metrics.json_escape e.name)
+                   se h
+                   (Metrics.json_float wall)
+                   (Metrics.json_float t.solution.objective)
+                   (match eff with
+                   | Some x -> Metrics.json_float x
+                   | None -> "null")
+                   degraded
+                   (delta "symbolic.fallback")
+                   (delta "enum.addresses")))
+            hs)
+        size_exps)
+    Codes.Registry.all;
+  Symbolic.Lattice.mode := saved_mode;
+  Buffer.add_string buf "]}\n";
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_pipeline.json"
+  in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "appended to BENCH_pipeline.json (%d curve points)\n"
+    (List.length Codes.Registry.names
+    * List.length hs * List.length size_exps)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing: one Test per table/figure *)
 
 let bechamel () =
@@ -699,6 +796,8 @@ let bechamel () =
 
 let () =
   Probe.with_seed 2026 (fun () ->
+      if Array.length Sys.argv > 1 && Sys.argv.(1) = "curve" then bench_curve ()
+      else begin
       fig1 ();
       fig2 ();
       fig3 ();
@@ -720,4 +819,5 @@ let () =
       validation ();
       bench_pipeline ();
       let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
-      if not quick then bechamel ())
+      if not quick then bechamel ()
+      end)

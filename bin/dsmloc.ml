@@ -30,13 +30,114 @@ let code_arg =
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"CODE" ~doc)
 
+(* "B^E" power notation.  For --size it names the problem extent and
+   maps onto the registry's power-of-two exponent knob (so `--size
+   2^30` selects a 2^30-element extent); everywhere else it is the
+   literal value (`--procs 2^10` is 1024 processors). *)
+let pow_split s =
+  match String.index_opt s '^' with
+  | None -> None
+  | Some i ->
+      Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let size_conv =
+  let parse s =
+    match pow_split s with
+    | None -> (
+        match int_of_string_opt s with
+        | Some v -> Ok v
+        | None -> Error (`Msg (Printf.sprintf "invalid size %S" s)))
+    | Some (b, e) -> (
+        match (int_of_string_opt b, int_of_string_opt e) with
+        | Some 2, Some e when e >= 0 && e <= 62 -> Ok e
+        | Some _, Some _ ->
+            Error
+              (`Msg
+                "power-notation sizes must be 2^E with 0 <= E <= 62 (the \
+                 size knob is a power-of-two exponent)")
+        | _ -> Error (`Msg (Printf.sprintf "invalid size %S" s)))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let pow_int_conv =
+  let parse s =
+    let plain () =
+      match int_of_string_opt s with
+      | Some v -> Ok v
+      | None -> Error (`Msg (Printf.sprintf "invalid integer %S" s))
+    in
+    match pow_split s with
+    | None -> plain ()
+    | Some (b, e) -> (
+        match (int_of_string_opt b, int_of_string_opt e) with
+        | Some b, Some e when b > 0 && e >= 0 ->
+            let rec go acc k =
+              if k = 0 then Ok acc
+              else if acc > max_int / b then
+                Error (`Msg (Printf.sprintf "%S overflows" s))
+              else go (acc * b) (k - 1)
+            in
+            go 1 e
+        | _ -> plain ())
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let size_arg =
-  let doc = "Problem-size knob (code-specific exponent)." in
-  Arg.(value & opt (some int) None & info [ "size"; "s" ] ~docv:"N" ~doc)
+  let doc =
+    "Problem-size knob (code-specific exponent).  Power notation names \
+     the extent directly: $(b,--size 2\\^30) selects a 2^30-element \
+     problem."
+  in
+  Arg.(value & opt (some size_conv) None & info [ "size"; "s" ] ~docv:"N" ~doc)
 
 let procs_arg =
-  let doc = "Number of processors H." in
-  Arg.(value & opt int 4 & info [ "procs"; "H" ] ~docv:"H" ~doc)
+  let doc = "Number of processors H (power notation accepted: 2^10)." in
+  Arg.(value & opt pow_int_conv 4 & info [ "procs"; "H" ] ~docv:"H" ~doc)
+
+let symbolic_only_arg =
+  let doc =
+    "Refuse enumeration fallbacks: an analysis step outside the \
+     closed-form symbolic fragment fails (recoverable, surfaced as a \
+     diagnostic) instead of silently enumerating addresses."
+  in
+  Arg.(value & flag & info [ "symbolic-only" ] ~doc)
+
+let enum_only_arg =
+  let doc =
+    "Force the historical enumerated accounting everywhere (the \
+     differential baseline for --enum-oracle)."
+  in
+  Arg.(value & flag & info [ "enum-only" ] ~doc)
+
+let install_mode symbolic_only enum_only =
+  match (symbolic_only, enum_only) with
+  | true, true ->
+      prerr_endline "--symbolic-only and --enum-only are mutually exclusive";
+      exit 1
+  | true, false -> Symbolic.Lattice.mode := Symbolic.Lattice.Symbolic_only
+  | false, true -> Symbolic.Lattice.mode := Symbolic.Lattice.Enumerated_only
+  | false, false -> ()
+
+let mode_term = Term.(const install_mode $ symbolic_only_arg $ enum_only_arg)
+
+let enum_oracle_arg =
+  let doc =
+    "Differential oracle: run the analysis twice - closed-form symbolic \
+     and enumerated - and compare the rendered reports byte for byte; a \
+     divergence prints the first differing line and exits 1."
+  in
+  Arg.(value & flag & info [ "enum-oracle" ] ~doc)
+
+let first_diff a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go i la lb =
+    match (la, lb) with
+    | x :: xs, y :: ys -> if String.equal x y then go (i + 1) xs ys else Some (i, x, y)
+    | [], [] -> None
+    | x :: _, [] -> Some (i, x, "<missing>")
+    | [], y :: _ -> Some (i, "<missing>", y)
+  in
+  go 1 la lb
 
 let baseline_arg =
   let doc = "Use the naive BLOCK / owner-computes baseline plan." in
@@ -189,29 +290,79 @@ let list_cmd =
     Term.(const f $ const ())
 
 let analyze_cmd =
-  let f () name size h strict max_errors =
+  let f () () name size h strict max_errors enum_oracle =
     with_entry name size (fun entry env ->
-        let t = run_pipeline ~strict ?max_errors entry env h in
-        Format.printf "%a@." Core.Pipeline.report t;
-        if Core.Pipeline.degraded t then exit 2)
+        if enum_oracle then begin
+          (* Render the same analysis under both accountings.  The
+             artifact stores key mode-dependent entries on the mode
+             tag, so the two runs cannot poison each other. *)
+          let render mode =
+            Symbolic.Lattice.mode := mode;
+            let t = run_pipeline ~strict ?max_errors entry env h in
+            (Format.asprintf "%a@." Core.Pipeline.report_core t, t)
+          in
+          let base_mode =
+            match !Symbolic.Lattice.mode with
+            | Symbolic.Lattice.Enumerated_only -> Symbolic.Lattice.Auto
+            | m -> m
+          in
+          let sym, t = render base_mode in
+          let enu, te = render Symbolic.Lattice.Enumerated_only in
+          (* Diagnostics are compared structurally, modulo the
+             fallback-visibility code that only the symbolic side can
+             emit. *)
+          let diag_sig t =
+            List.filter_map
+              (fun (d : Core.Diag.t) ->
+                if String.equal d.Core.Diag.code "LINT-SYMBOLIC-FALLBACK" then
+                  None
+                else
+                  Some
+                    (Printf.sprintf "%s|%s" d.Core.Diag.code d.Core.Diag.message))
+              (Core.Pipeline.diagnostics t)
+          in
+          Format.printf "%a@." Core.Pipeline.report t;
+          (match first_diff sym enu with
+          | Some (line, s, e) ->
+              Printf.eprintf
+                "enum-oracle: symbolic and enumerated reports diverge at \
+                 line %d:\n\
+                \  symbolic:   %s\n\
+                \  enumerated: %s\n"
+                line s e;
+              exit 1
+          | None ->
+              if diag_sig t <> diag_sig te then begin
+                Printf.eprintf
+                  "enum-oracle: symbolic and enumerated diagnostics diverge\n";
+                exit 1
+              end;
+              Printf.eprintf "enum-oracle: reports identical\n");
+          if Core.Pipeline.degraded t then exit 2
+        end
+        else begin
+          let t = run_pipeline ~strict ?max_errors entry env h in
+          Format.printf "%a@." Core.Pipeline.report t;
+          if Core.Pipeline.degraded t then exit 2
+        end)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Full pipeline report: LCG, model, solution, plan.")
     Term.(
-      const f $ profile_term $ code_arg $ size_arg $ procs_arg $ strict_arg
-      $ max_errors_arg)
+      const f $ profile_term $ mode_term $ code_arg $ size_arg $ procs_arg
+      $ strict_arg $ max_errors_arg $ enum_oracle_arg)
 
 let lcg_cmd =
-  let f () name size h =
+  let f () () name size h =
     with_entry name size (fun entry env ->
         let lcg = Locality.Lcg.build entry.program ~env ~h in
         Format.printf "%a@." Locality.Lcg.pp lcg)
   in
   Cmd.v (Cmd.info "lcg" ~doc:"Print the Locality-Communication Graph.")
-    Term.(const f $ profile_term $ code_arg $ size_arg $ procs_arg)
+    Term.(const f $ profile_term $ mode_term $ code_arg $ size_arg $ procs_arg)
 
 let solve_cmd =
-  let f () name size h strict max_errors =
+  let f () () name size h strict max_errors =
     with_entry name size (fun entry env ->
         let t = run_pipeline ~strict ?max_errors entry env h in
         Format.printf "%a@.@." Ilp.Model.pp t.model;
@@ -224,11 +375,11 @@ let solve_cmd =
     (Cmd.info "solve"
        ~doc:"Print the Table-2 constraint model and the solved distribution.")
     Term.(
-      const f $ profile_term $ code_arg $ size_arg $ procs_arg $ strict_arg
-      $ max_errors_arg)
+      const f $ profile_term $ mode_term $ code_arg $ size_arg $ procs_arg
+      $ strict_arg $ max_errors_arg)
 
 let simulate_cmd =
-  let f () name size h baseline strict max_errors faults retries =
+  let f () () name size h baseline strict max_errors faults retries =
     with_entry name size (fun entry env ->
         let t = run_pipeline ~strict ?max_errors entry env h in
         let r =
@@ -242,11 +393,11 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Replay the code on the DSM machine model.")
     Term.(
-      const f $ profile_term $ code_arg $ size_arg $ procs_arg $ baseline_arg
-      $ strict_arg $ max_errors_arg $ faults_arg $ retries_arg)
+      const f $ profile_term $ mode_term $ code_arg $ size_arg $ procs_arg
+      $ baseline_arg $ strict_arg $ max_errors_arg $ faults_arg $ retries_arg)
 
 let sweep_cmd =
-  let f () name size =
+  let f () () name size =
     with_entry name size (fun entry env ->
         Printf.printf "%4s %12s %12s\n" "H" "LCG eff" "BLOCK eff";
         List.iter
@@ -259,7 +410,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Efficiency sweep over processor counts.")
-    Term.(const f $ profile_term $ code_arg $ size_arg)
+    Term.(const f $ profile_term $ mode_term $ code_arg $ size_arg)
 
 let table1_cmd =
   let f () = Format.printf "%a" Locality.Table1.pp_grid () in
@@ -280,7 +431,7 @@ let stability_cmd =
     Term.(const f $ code_arg)
 
 let validate_cmd =
-  let f () name size h strict max_errors faults retries =
+  let f () () name size h strict max_errors faults retries =
     with_entry name size (fun entry env ->
         let t = run_pipeline ~strict ?max_errors entry env h in
         fatal_guard t @@ fun () ->
@@ -312,11 +463,11 @@ let validate_cmd =
          "Replay with versioned memory: certify every read is fresh \
           (optionally under injected message faults).")
     Term.(
-      const f $ profile_term $ code_arg $ size_arg $ procs_arg $ strict_arg
-      $ max_errors_arg $ faults_arg $ retries_arg)
+      const f $ profile_term $ mode_term $ code_arg $ size_arg $ procs_arg
+      $ strict_arg $ max_errors_arg $ faults_arg $ retries_arg)
 
 let report_cmd =
-  let f () name size h strict max_errors =
+  let f () () name size h strict max_errors =
     with_entry name size (fun entry env ->
         let t = run_pipeline ~strict ?max_errors entry env h in
         print_string (fatal_guard t (fun () -> Core.Report.markdown t));
@@ -325,8 +476,8 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"Full markdown analysis report.")
     Term.(
-      const f $ profile_term $ code_arg $ size_arg $ procs_arg $ strict_arg
-      $ max_errors_arg)
+      const f $ profile_term $ mode_term $ code_arg $ size_arg $ procs_arg
+      $ strict_arg $ max_errors_arg)
 
 let spmd_cmd =
   let f name size h =
@@ -389,7 +540,7 @@ let file_cmd =
     in
     Arg.(value & flag & info [ "autopar" ] ~doc)
   in
-  let f () path h bindings autopar strict max_errors =
+  let f () () path h bindings autopar strict max_errors =
     match Frontend.Parse.program_file path with
     | exception Frontend.Parse.Error { line; message } ->
         Printf.eprintf "%s:%d: %s\n" path line message;
@@ -457,8 +608,8 @@ let file_cmd =
     (Cmd.info "file"
        ~doc:"Parse a surface-language program and run the full pipeline on it.")
     Term.(
-      const f $ profile_term $ path_arg $ procs_arg $ env_arg $ autopar_arg
-      $ strict_arg $ max_errors_arg)
+      const f $ profile_term $ mode_term $ path_arg $ procs_arg $ env_arg
+      $ autopar_arg $ strict_arg $ max_errors_arg)
 
 (* ------------------------------------------------------------------ *)
 (* batch: sharded multi-process analysis over many codes at once.
@@ -519,7 +670,8 @@ let batch_cmd =
       "Comma-separated processor counts; each code is analyzed once per \
        count."
     in
-    Arg.(value & opt (list int) [ 4 ] & info [ "procs"; "H" ] ~docv:"H,.." ~doc)
+    Arg.(
+      value & opt (list pow_int_conv) [ 4 ] & info [ "procs"; "H" ] ~docv:"H,.." ~doc)
   in
   let crash_arg =
     let doc =
@@ -530,7 +682,7 @@ let batch_cmd =
     Arg.(
       value & opt (some string) None & info [ "inject-crash" ] ~docv:"CODE" ~doc)
   in
-  let f () names all jobs size hs crash =
+  let f () () names all jobs size hs crash =
     let names = names @ (if all then Codes.Registry.names else []) in
     let names = if names = [] then Codes.Registry.names else names in
     List.iter
@@ -608,8 +760,8 @@ let batch_cmd =
           processes: crash-isolated, deterministically ordered output, \
           fleet-merged metrics.")
     Term.(
-      const f $ profile_term $ codes_arg $ all_arg $ jobs_arg $ size_arg
-      $ procs_list_arg $ crash_arg)
+      const f $ profile_term $ mode_term $ codes_arg $ all_arg $ jobs_arg
+      $ size_arg $ procs_list_arg $ crash_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve / request: the warm analysis daemon and its client.

@@ -27,6 +27,10 @@ let catalog =
     ( "LINT-UNCERTIFIED",
       Diag.Info,
       "declared parallel loop neither certified nor refuted" );
+    ( "LINT-SYMBOLIC-FALLBACK",
+      Diag.Info,
+      "analysis left the closed-form symbolic fragment and fell back to \
+       address enumeration (emitted by the pipeline, not a lint rule)" );
   ]
 
 let where_loop (ph : Types.phase) v = ph.Types.phase_name ^ "/" ^ v

@@ -17,7 +17,7 @@ type t = {
 let recoverable = function
   | Descriptor.Ard.Unsupported | Descriptor.Region.Not_rectangular _
   | Qnum.Overflow | Qnum.Division_by_zero | Division_by_zero | Env.Unbound _
-  | Expr.Non_integral _ ->
+  | Expr.Non_integral _ | Lattice.Outside_fragment _ ->
       true
   | _ -> false
 
@@ -28,6 +28,8 @@ let describe = function
   | Qnum.Division_by_zero | Division_by_zero -> "division by zero"
   | Env.Unbound v -> "unbound parameter " ^ v
   | Expr.Non_integral s -> "non-integral expression: " ^ s
+  | Lattice.Outside_fragment s ->
+      "outside the closed-form fragment under --symbolic-only: " ^ s
   | e -> Printexc.to_string e
 
 let guard ~strict ~diags ~stage ~code ~fallback f =
@@ -47,6 +49,7 @@ let plan_timer = Metrics.timer "pipeline.plan"
 let run ?machine ?(strict = false) ?(lint = true) ?diags prog ~env ~h =
   Metrics.with_timer run_timer @@ fun () ->
   let diags = match diags with Some d -> d | None -> Diag.collector () in
+  let fallbacks_before = Lattice.fallback_count () in
   let machine =
     match machine with Some m -> m | None -> Ilp.Cost.default_machine ~h
   in
@@ -132,6 +135,17 @@ let run ?machine ?(strict = false) ?(lint = true) ?diags prog ~env ~h =
         ~fallback:(fun () -> Ilp.Distribution.block_plan lcg)
         (fun () -> Ilp.Distribution.of_solution lcg ~p:solution.p)
   in
+  (* Fallbacks are correctness-neutral (the enumerated path computes
+     the same answers) but mark where the closed-form fragment was left
+     behind - the spots where analysis cost scales with data size. *)
+  let fallbacks = Lattice.fallback_count () - fallbacks_before in
+  if fallbacks > 0 && !Lattice.mode <> Lattice.Enumerated_only then
+    Diag.addf diags ~severity:Diag.Info ~stage:Diag.Lint
+      ~code:"LINT-SYMBOLIC-FALLBACK"
+      "%d analysis step(s) left the closed-form symbolic fragment and fell \
+       back to address enumeration (per-stage breakdown under the \
+       symbolic.fallback.* counters in --profile)"
+      fallbacks;
   { prog; env; machine; lcg; model; solution; plan; diags }
 
 let diagnostics t = Diag.to_list t.diags
@@ -170,7 +184,12 @@ let simulate_baseline ?rounds t =
 
 let efficiency t = ((simulate t).efficiency, (simulate_baseline t).efficiency)
 
-let report ppf t =
+(* The analysis payload alone (LCG, model, solution, plan).  The
+   --enum-oracle differential compares this byte for byte between the
+   symbolic and enumerated accountings; diagnostics are compared
+   structurally on the side because the fallback-visibility diagnostic
+   is mode-dependent by design. *)
+let report_core ppf t =
   Format.fprintf ppf "@[<v>%a@,=== Constraint model (Table 2 form) ===@,%a@,"
     Locality.Lcg.pp t.lcg Ilp.Model.pp t.model;
   Format.fprintf ppf "=== Solution ===@,objective %.1f (D %.1f + C %.1f)%s@,"
@@ -179,6 +198,10 @@ let report ppf t =
     | [] -> ""
     | b -> Printf.sprintf "  (%d violated locality rows)" (List.length b));
   Format.fprintf ppf "%a" Ilp.Distribution.pp t.plan;
+  Format.fprintf ppf "@]"
+
+let report ppf t =
+  Format.fprintf ppf "@[<v>%a" report_core t;
   (match diagnostics t with
   | [] -> ()
   | ds ->

@@ -94,6 +94,11 @@ val simulate_baseline : ?rounds:int -> t -> Dsmsim.Exec.run
 val efficiency : t -> float * float
 (** (LCG-plan efficiency, BLOCK-baseline efficiency). *)
 
+val report_core : Format.formatter -> t -> unit
+(** The analysis payload alone: LCG, Table-2 model, solution, plan.
+    Mode-independent by construction - the symbolic/enumerated
+    differential oracle compares it byte for byte. *)
+
 val report : Format.formatter -> t -> unit
-(** LCG, Table-2 model, solution, plan, and (when non-empty) the
-    diagnostics table, in order. *)
+(** {!report_core} followed (when non-empty) by the diagnostics
+    table. *)

@@ -144,12 +144,83 @@ let extent_test asm ~loop_vars ~n ~array (t1 : trow) (t2 : trow) : pair_result
              array Expr.pp lo1 Expr.pp hi1 Expr.pp lo2 Expr.pp hi2)
   | _ -> Cannot ("unbounded extent for a row of " ^ array)
 
+(* Residue-class separation for rows whose sequential strides share a
+   common modulus [g] (typically the row length N of a linearized
+   matrix): every address row r touches at parallel iteration [i] is
+   congruent to [offset_r + stride_r * i] mod g, because all sequential
+   contributions are multiples of g.  Disjointness then follows from
+   modular arithmetic alone, no matter how far the sequential spans
+   reach - exactly the case the span-based interval tests cannot
+   separate.  Two sound closures:
+
+   - {e apart}: g also divides both parallel strides and the offsets
+     differ mod g.  The two rows live in fixed distinct residue
+     classes, so no pair of iterations ever meets.
+   - {e rotating}: the offsets agree mod g and both rows advance with
+     the same signed stride s with 0 < |s| * (n-1) < g.  Distinct
+     iterations then occupy distinct residue classes, which excludes
+     every loop-carried collision (same-iteration sharing is not a
+     race).
+
+   Divisibility and non-divisibility of symbolic expressions are
+   decided against small multiplier candidates through Probe
+   identities; an undecided modulus is simply skipped, so failure only
+   costs precision, never soundness. *)
+let congruence_test asm ~n (t1 : trow) (t2 : trow) : bool =
+  let quotients = List.init 9 (fun k -> k - 4) in
+  let divides g e =
+    List.exists
+      (fun q -> Probe.equal asm e (Expr.mul g (Expr.int q)))
+      quotients
+  in
+  let strictly_between_multiples g e =
+    List.exists
+      (fun q ->
+        Probe.lt asm (Expr.mul g (Expr.int q)) e
+        && Probe.lt asm e (Expr.mul g (Expr.int (q + 1))))
+      quotients
+  in
+  let strides_of (t : trow) =
+    List.map (fun (d : Pd.dim) -> d.Pd.stride) t.seq_dims
+  in
+  let seq_strides = strides_of t1 @ strides_of t2 in
+  let diff = Expr.sub t2.row.Id.offset0 t1.row.Id.offset0 in
+  let dmax = Expr.sub n Expr.one in
+  t1.clean && t2.clean
+  && List.exists
+       (fun g ->
+         Probe.lt asm Expr.one g
+         && List.for_all (fun s -> divides g s) seq_strides
+         &&
+         let apart =
+           divides g t1.signed_stride
+           && divides g t2.signed_stride
+           && strictly_between_multiples g diff
+         in
+         let rotating =
+           divides g diff
+           && Probe.equal asm t1.signed_stride t2.signed_stride
+           &&
+           let s = t1.signed_stride in
+           (Probe.lt asm Expr.zero s
+           && Probe.lt asm (Expr.mul s dmax) g)
+           || Probe.lt asm s Expr.zero
+              && Probe.lt asm (Expr.mul (Expr.neg s) dmax) g
+         in
+         apart || rotating)
+       (List.sort_uniq Expr.compare seq_strides)
+
 let pair_test asm ~loop_vars ~n ~array (t1 : trow) (t2 : trow) : pair_result =
-  if
-    t1.clean && t2.clean
-    && Probe.equal asm t1.signed_stride t2.signed_stride
-  then same_stride_test asm ~n ~array t1 t2
-  else extent_test asm ~loop_vars ~n ~array t1 t2
+  let primary =
+    if
+      t1.clean && t2.clean
+      && Probe.equal asm t1.signed_stride t2.signed_stride
+    then same_stride_test asm ~n ~array t1 t2
+    else extent_test asm ~loop_vars ~n ~array t1 t2
+  in
+  match primary with
+  | Cannot _ when congruence_test asm ~n t1 t2 -> Disjoint
+  | r -> r
 
 let certify_exn (prog : Ir.Types.program) (ph : Ir.Types.phase) loop_path :
     verdict =

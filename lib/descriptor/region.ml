@@ -46,7 +46,12 @@ let group_addresses env g ~par =
   List.iter (fun r -> row_addresses env g r ~par acc) g.Pd.rows;
   acc
 
+(* Companion to [enum.iter]: counts descriptor-region expansions that
+   actually swept addresses (cache hits in [addresses] do not count). *)
+let enum_count = Metrics.counter "enum.addresses"
+
 let addresses_raw env (t : Pd.t) ~par =
+  Metrics.incr enum_count;
   let acc = Hashtbl.create 256 in
   List.iter
     (fun (g : Pd.group) -> List.iter (fun r -> row_addresses env g r ~par acc) g.rows)

@@ -65,6 +65,245 @@ let retry_cost (m : Cost.machine) (r : Fault.retry) =
   in
   go 1 0.0
 
+module L = Symbolic.Lattice
+
+(* Everything one phase contributes per round: the same accesses play
+   out every round, so the accounting is computed once - symbolically
+   when the phase stays inside the closed-form fragment, by replaying
+   the enumerator otherwise - and applied per round. *)
+type summary = {
+  s_local : int;
+  s_remote : int;
+  s_compute : int;
+  s_clock : float array;  (** per processor: work + access cycles *)
+  s_pcompute : float array;
+  s_paccess : float array;
+  s_seq : float;  (** contribution to the serialized baseline *)
+  s_written : string list;  (** arrays the phase writes *)
+}
+
+let summarize_enum (lcg : Lcg.t) (plan : Distribution.plan) (m : Cost.machine)
+    ~size_of k ph =
+  let h = plan.h in
+  let chunk = plan.chunk.(k) in
+  let clock = Array.make h 0.0 in
+  let pcomp = Array.make h 0.0 and pacc = Array.make h 0.0 in
+  let local = ref 0 and remote = ref 0 and compute = ref 0 in
+  let seq = ref 0.0 in
+  let written = Hashtbl.create 4 in
+  Ir.Enumerate.iter lcg.prog lcg.env ph
+    ~f:(fun ~par ~array ~addr access ~work ->
+      let proc =
+        match par with
+        | Some i -> proc_of_iteration ~chunk ~h i
+        | None -> 0
+      in
+      (* Remote writes are single-sided pipelined puts (t_put);
+         remote reads pay the full round trip (t_remote). *)
+      let remote_cost =
+        match access with
+        | Ir.Types.Read -> m.t_remote
+        | Ir.Types.Write -> m.t_put
+      in
+      let access_cost =
+        if List.mem (k, array) plan.privatized then begin
+          incr local;
+          m.t_local
+        end
+        else
+          match Distribution.layout_for plan ~array ~phase_idx:k with
+          | Some l ->
+              let owned = Distribution.proc_of plan l ~addr = proc in
+              (* Reads within the replicated ghost zone around an
+                 owned block are served locally (Theorem 1c). *)
+              (* the replicated window matches the frontier strips:
+                 min(halo, block) cells beyond each owned block *)
+              let w = min l.halo l.block in
+              let halo_local =
+                (not owned)
+                && l.halo > 0
+                && (match access with Ir.Types.Read -> true | Ir.Types.Write -> false)
+                && ((match size_of array with
+                    | Some s -> l.halo >= s
+                    | None -> false (* unknown size: not replicated *))
+                   || Distribution.proc_of plan l ~addr:(addr - w) = proc
+                   || Distribution.proc_of plan l ~addr:(addr + w) = proc)
+              in
+              if owned || halo_local then begin
+                incr local;
+                m.t_local
+              end
+              else begin
+                incr remote;
+                remote_cost
+              end
+          | None ->
+              incr local;
+              m.t_local
+      in
+      (match access with
+      | Ir.Types.Write -> Hashtbl.replace written array ()
+      | Ir.Types.Read -> ());
+      compute := !compute + work;
+      clock.(proc) <- clock.(proc) +. float_of_int (work + access_cost);
+      pcomp.(proc) <- pcomp.(proc) +. float_of_int work;
+      pacc.(proc) <- pacc.(proc) +. float_of_int access_cost;
+      seq := !seq +. float_of_int (work + m.t_local));
+  {
+    s_local = !local;
+    s_remote = !remote;
+    s_compute = !compute;
+    s_clock = clock;
+    s_pcompute = pcomp;
+    s_paccess = pacc;
+    s_seq = !seq;
+    s_written = Hashtbl.fold (fun a () acc -> a :: acc) written [];
+  }
+
+(* The same totals in closed form: per site, per-processor event counts
+   against the layout's ownership intervals (and the ghost-zone family
+   for halo'd reads), all integer arithmetic overflow-checked.  Sums of
+   integers below 2^53 convert to the exact floats the enumerating path
+   accumulates, so reports agree bit-for-bit. *)
+let summarize_symbolic (lcg : Lcg.t) (plan : Distribution.plan)
+    (m : Cost.machine) ~size_of k ph =
+  match Ir.Shape.of_phase lcg.prog lcg.env ph with
+  | None -> None
+  | Some t -> (
+      let exception Subtle in
+      try
+        let h = plan.h in
+        let chunk = plan.chunk.(k) in
+        let local = ref 0 and remote = ref 0 and compute = ref 0 in
+        let clock = Array.make h 0 in
+        let pcomp = Array.make h 0 and pacc = Array.make h 0 in
+        let seq = ref 0 in
+        let written = ref [] in
+        let events_of s sets =
+          match
+            Owncount.per_proc ~h ~chunk ~par:s.Ir.Shape.par ~par_n:t.par_n
+              ~base:s.Ir.Shape.base ~seq:s.Ir.Shape.seq ~sets
+          with
+          | None -> raise Subtle
+          | Some r -> r
+        in
+        let all_local = Array.make h [] in
+        List.iter
+          (fun (s : Ir.Shape.site) ->
+            if Ir.Shape.emits t s then begin
+              (match s.access with
+              | Ir.Types.Write ->
+                  if not (List.mem s.array !written) then
+                    written := s.array :: !written
+              | Ir.Types.Read -> ());
+              let remote_cost =
+                match s.access with
+                | Ir.Types.Read -> m.t_remote
+                | Ir.Types.Write -> m.t_put
+              in
+              let events, local_hits =
+                if List.mem (k, s.array) plan.privatized then
+                  let ev, _ = events_of s all_local in
+                  (ev, Array.copy ev)
+                else
+                  match
+                    Distribution.layout_for plan ~array:s.array ~phase_idx:k
+                  with
+                  | None ->
+                      let ev, _ = events_of s all_local in
+                      (ev, Array.copy ev)
+                  | Some l -> (
+                      let box =
+                        match Ir.Shape.box t s with
+                        | Some b -> b
+                        | None -> raise Subtle
+                      in
+                      let w = min l.halo l.block in
+                      let owned_sets =
+                        match
+                          Owncount.intervals_of
+                            (Distribution.own_of ~h l)
+                            ~lo:(L.lo box - w) ~hi:(L.hi box + w)
+                        with
+                        | None -> raise Subtle
+                        | Some o -> o
+                      in
+                      let ev, own_hits = events_of s owned_sets in
+                      match s.access with
+                      | Ir.Types.Write -> (ev, own_hits)
+                      | Ir.Types.Read ->
+                          let replicated =
+                            l.halo > 0
+                            &&
+                            match size_of s.array with
+                            | Some sz -> l.halo >= sz
+                            | None -> false
+                          in
+                          if replicated then (ev, Array.copy ev)
+                          else if l.halo > 0 then begin
+                            let halo_sets =
+                              Array.map
+                                (fun o ->
+                                  L.Iv.subtract
+                                    (L.Iv.union (L.Iv.shift o w)
+                                       (L.Iv.shift o (-w)))
+                                    o)
+                                owned_sets
+                            in
+                            let _, halo_hits = events_of s halo_sets in
+                            ( ev,
+                              Array.init h (fun p0 ->
+                                  own_hits.(p0) + halo_hits.(p0)) )
+                          end
+                          else (ev, own_hits))
+              in
+              for p0 = 0 to h - 1 do
+                let e = events.(p0) in
+                let lh = local_hits.(p0) in
+                let rh = e - lh in
+                let wk = L.Safe.mul s.work e in
+                local := L.Safe.add !local lh;
+                remote := L.Safe.add !remote rh;
+                compute := L.Safe.add !compute wk;
+                clock.(p0) <-
+                  L.Safe.add clock.(p0)
+                    (L.Safe.add wk
+                       (L.Safe.add (L.Safe.mul m.t_local lh)
+                          (L.Safe.mul remote_cost rh)));
+                pcomp.(p0) <- L.Safe.add pcomp.(p0) wk;
+                pacc.(p0) <-
+                  L.Safe.add pacc.(p0)
+                    (L.Safe.add (L.Safe.mul m.t_local lh)
+                       (L.Safe.mul remote_cost rh));
+                seq :=
+                  L.Safe.add !seq (L.Safe.mul (s.work + m.t_local) e)
+              done
+            end)
+          t.sites;
+        Some
+          {
+            s_local = !local;
+            s_remote = !remote;
+            s_compute = !compute;
+            s_clock = Array.map float_of_int clock;
+            s_pcompute = Array.map float_of_int pcomp;
+            s_paccess = Array.map float_of_int pacc;
+            s_seq = float_of_int !seq;
+            s_written = !written;
+          }
+      with Subtle | L.Overflow -> None)
+
+let summarize lcg plan m ~size_of k ph =
+  match !L.mode with
+  | L.Enumerated_only -> summarize_enum lcg plan m ~size_of k ph
+  | L.Auto | L.Symbolic_only -> (
+      match summarize_symbolic lcg plan m ~size_of k ph with
+      | Some s -> s
+      | None ->
+          L.note_fallback ~stage:"exec"
+            ("phase " ^ ph.Ir.Types.phase_name ^ " accounting");
+          summarize_enum lcg plan m ~size_of k ph)
+
 let exec_timer = Symbolic.Metrics.timer "dsmsim.exec"
 let msg_count = Symbolic.Metrics.counter "exec.messages"
 let word_count = Symbolic.Metrics.counter "exec.words"
@@ -130,6 +369,9 @@ let run ?(rounds = 1) ?on_error ?faults ?(retries = 0) (lcg : Lcg.t)
     done;
     !worst
   in
+  let summaries =
+    List.mapi (fun k ph -> summarize lcg plan m ~size_of k ph) lcg.prog.phases
+  in
   for round = 0 to rounds - 1 do
   List.iteri
     (fun k ph ->
@@ -151,77 +393,21 @@ let run ?(rounds = 1) ?on_error ?faults ?(retries = 0) (lcg : Lcg.t)
                 :: !comms
           | _ -> ())
         sched;
-      (* Phase execution. *)
-      let clock = Array.make h 0.0 in
-      let local = ref 0 and remote = ref 0 and compute = ref 0 in
-      let written = Hashtbl.create 4 in
-      let chunk = plan.chunk.(k) in
-      Ir.Enumerate.iter lcg.prog lcg.env ph
-        ~f:(fun ~par ~array ~addr access ~work ->
-          let proc =
-            match par with
-            | Some i -> proc_of_iteration ~chunk ~h i
-            | None -> 0
-          in
-          (* Remote writes are single-sided pipelined puts (t_put);
-             remote reads pay the full round trip (t_remote). *)
-          let remote_cost =
-            match access with
-            | Ir.Types.Read -> m.t_remote
-            | Ir.Types.Write -> m.t_put
-          in
-          let access_cost =
-            if List.mem (k, array) plan.privatized then begin
-              incr local;
-              m.t_local
-            end
-            else
-              match Distribution.layout_for plan ~array ~phase_idx:k with
-              | Some l ->
-                  let owned = Distribution.proc_of plan l ~addr = proc in
-                  (* Reads within the replicated ghost zone around an
-                     owned block are served locally (Theorem 1c). *)
-                  (* the replicated window matches the frontier strips:
-                     min(halo, block) cells beyond each owned block *)
-                  let w = min l.halo l.block in
-                  let halo_local =
-                    (not owned)
-                    && l.halo > 0
-                    && (match access with Ir.Types.Read -> true | Ir.Types.Write -> false)
-                    && ((match size_of array with
-                        | Some s -> l.halo >= s
-                        | None -> false (* unknown size: not replicated *))
-                       || Distribution.proc_of plan l ~addr:(addr - w) = proc
-                       || Distribution.proc_of plan l ~addr:(addr + w) = proc)
-                  in
-                  if owned || halo_local then begin
-                    incr local;
-                    m.t_local
-                  end
-                  else begin
-                    incr remote;
-                    remote_cost
-                  end
-              | None ->
-                  incr local;
-                  m.t_local
-          in
-          (match access with
-          | Ir.Types.Write -> Hashtbl.replace written array ()
-          | Ir.Types.Read -> ());
-          compute := !compute + work;
-          clock.(proc) <- clock.(proc) +. float_of_int (work + access_cost);
-          proc_compute.(proc) <- proc_compute.(proc) +. float_of_int work;
-          proc_access.(proc) <- proc_access.(proc) +. float_of_int access_cost;
-          seq_time := !seq_time +. float_of_int (work + m.t_local));
-      let t = Array.fold_left max 0.0 clock in
+      (* Phase execution, from the per-phase summary. *)
+      let s = List.nth summaries k in
+      for p0 = 0 to h - 1 do
+        proc_compute.(p0) <- proc_compute.(p0) +. s.s_pcompute.(p0);
+        proc_access.(p0) <- proc_access.(p0) +. s.s_paccess.(p0)
+      done;
+      seq_time := !seq_time +. s.s_seq;
+      let t = Array.fold_left max 0.0 s.s_clock in
       (* Frontier updates leaving this phase, from the schedule. *)
       let frontier_t =
         List.fold_left
           (fun acc ev ->
             match ev with
             | Comm.Frontier { array; after_phase; messages }
-              when after_phase = k && Hashtbl.mem written array ->
+              when after_phase = k && List.mem array s.s_written ->
                 let words =
                   List.fold_left
                     (fun a (msg : Comm.message) -> a + msg.words)
@@ -242,14 +428,14 @@ let run ?(rounds = 1) ?on_error ?faults ?(retries = 0) (lcg : Lcg.t)
           0.0 sched
       in
       par_time := !par_time +. t +. frontier_t;
-      total_local := !total_local + !local;
-      total_remote := !total_remote + !remote;
+      total_local := !total_local + s.s_local;
+      total_remote := !total_remote + s.s_remote;
       phases :=
         {
           name = ph.Ir.Types.phase_name;
-          local = !local;
-          remote = !remote;
-          compute = !compute;
+          local = s.s_local;
+          remote = s.s_remote;
+          compute = s.s_compute;
           time = t;
         }
         :: !phases)

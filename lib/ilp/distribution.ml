@@ -46,9 +46,18 @@ let array_size (lcg : Lcg.t) array =
 
 let ceil_div a b = (a + b - 1) / b
 
+let own_of ~h (l : layout) : Lattice.Own.t =
+  {
+    Lattice.Own.h;
+    base = l.base;
+    block = l.block;
+    period = l.period;
+    mirror = l.mirror;
+  }
+
 (* Remote accesses layout [l] induces for its array in phase
    [phase_idx], given the plan's CYCLIC(p) schedules. *)
-let remote_count (lcg : Lcg.t) (plan : plan) (l : layout) ~phase_idx =
+let remote_count_enum (lcg : Lcg.t) (plan : plan) (l : layout) ~phase_idx =
   let ph = List.nth lcg.prog.phases phase_idx in
   let chunk = plan.chunk.(phase_idx) in
   let remote = ref 0 in
@@ -62,6 +71,215 @@ let remote_count (lcg : Lcg.t) (plan : plan) (l : layout) ~phase_idx =
         if proc_of plan l ~addr <> proc then incr remote
       end);
   !remote
+
+(* The same count in closed form: per-processor ownership intervals
+   over the hull of the phase's sites on this array, each site counted
+   by window sweeps. *)
+let remote_count_symbolic (lcg : Lcg.t) (plan : plan) (l : layout) ~phase_idx =
+  let ph = List.nth lcg.prog.phases phase_idx in
+  match Ir.Shape.of_phase lcg.prog lcg.env ph with
+  | None -> None
+  | Some t -> (
+      try
+        let sites =
+          List.filter
+            (fun (s : Ir.Shape.site) ->
+              String.equal s.array l.array && Ir.Shape.emits t s)
+            t.sites
+        in
+        if sites = [] then Some 0
+        else
+          let boxes = List.filter_map (Ir.Shape.box t) sites in
+          match Lattice.bounds boxes with
+          | None -> Some 0
+          | Some (lo, hi) -> (
+              match Owncount.intervals_of (own_of ~h:plan.h l) ~lo ~hi with
+              | None -> None
+              | Some sets ->
+                  let chunk = plan.chunk.(phase_idx) in
+                  List.fold_left
+                    (fun acc (s : Ir.Shape.site) ->
+                      match acc with
+                      | None -> None
+                      | Some r -> (
+                          match
+                            Owncount.per_proc ~h:plan.h ~chunk ~par:s.par
+                              ~par_n:t.par_n ~base:s.base ~seq:s.seq ~sets
+                          with
+                          | None -> None
+                          | Some (events, hits) ->
+                              let tot = Array.fold_left ( + ) 0 events
+                              and owned = Array.fold_left ( + ) 0 hits in
+                              Some (r + tot - owned)))
+                    (Some 0) sites)
+      with Lattice.Overflow -> None)
+
+let remote_count (lcg : Lcg.t) (plan : plan) (l : layout) ~phase_idx =
+  match !Lattice.mode with
+  | Lattice.Enumerated_only -> remote_count_enum lcg plan l ~phase_idx
+  | Lattice.Auto | Lattice.Symbolic_only -> (
+      match remote_count_symbolic lcg plan l ~phase_idx with
+      | Some r -> r
+      | None ->
+          Lattice.note_fallback ~stage:"distribution"
+            (l.array ^ " remote count");
+          remote_count_enum lcg plan l ~phase_idx)
+
+(* Does any phase of the layout's epoch write the array? *)
+let epoch_written_enum (lcg : Lcg.t) (l : layout) =
+  let found = ref false in
+  for k = l.first_phase to l.last_phase do
+    Ir.Enumerate.iter lcg.prog lcg.env (List.nth lcg.prog.phases k)
+      ~f:(fun ~par:_ ~array ~addr:_ access ~work:_ ->
+        if
+          String.equal array l.array
+          && (match access with
+             | Ir.Types.Write -> true
+             | Ir.Types.Read -> false)
+        then found := true)
+  done;
+  !found
+
+let epoch_written_symbolic (lcg : Lcg.t) (l : layout) =
+  let exception Subtle in
+  try
+    let found = ref false in
+    for k = l.first_phase to l.last_phase do
+      match Ir.Shape.of_phase lcg.prog lcg.env (List.nth lcg.prog.phases k) with
+      | None -> raise Subtle
+      | Some t ->
+          if
+            List.exists
+              (fun (s : Ir.Shape.site) ->
+                String.equal s.array l.array
+                && (match s.access with
+                   | Ir.Types.Write -> true
+                   | Ir.Types.Read -> false)
+                && Ir.Shape.emits t s)
+              t.sites
+          then found := true
+    done;
+    Some !found
+  with Subtle -> None
+
+let epoch_written (lcg : Lcg.t) (l : layout) =
+  match !Lattice.mode with
+  | Lattice.Enumerated_only -> epoch_written_enum lcg l
+  | Lattice.Auto | Lattice.Symbolic_only -> (
+      match epoch_written_symbolic lcg l with
+      | Some b -> b
+      | None ->
+          Lattice.note_fallback ~stage:"distribution"
+            (l.array ^ " epoch writes");
+          epoch_written_enum lcg l)
+
+(* Ghost-zone payoff of a candidate layout: remote reads the halo would
+   serve locally, and how many of the epoch's phases write the array
+   (each such phase ships frontier updates). *)
+let halo_savings_enum (lcg : Lcg.t) (plan0 : plan) ~p (l : layout) =
+  let h = plan0.h in
+  let saved = ref 0 and writing_phases = ref 0 in
+  for k = l.first_phase to l.last_phase do
+    let ph = List.nth lcg.prog.phases k in
+    let chunk = max 1 p.(k) in
+    let wrote = ref false in
+    Ir.Enumerate.iter lcg.prog lcg.env ph
+      ~f:(fun ~par ~array ~addr access ~work:_ ->
+        if String.equal array l.array then begin
+          let proc = match par with Some i -> i / chunk mod h | None -> 0 in
+          match access with
+          | Ir.Types.Write -> wrote := true
+          | Ir.Types.Read ->
+              let w = min l.halo l.block in
+              if
+                proc_of plan0 l ~addr <> proc
+                && (proc_of plan0 l ~addr:(addr - w) = proc
+                   || proc_of plan0 l ~addr:(addr + w) = proc)
+              then incr saved
+        end);
+    if !wrote then incr writing_phases
+  done;
+  (!saved, !writing_phases)
+
+let halo_savings_symbolic (lcg : Lcg.t) (plan0 : plan) ~p (l : layout) =
+  let exception Subtle in
+  try
+    let h = plan0.h in
+    let own = own_of ~h l in
+    let w = min l.halo l.block in
+    let saved = ref 0 and writing_phases = ref 0 in
+    for k = l.first_phase to l.last_phase do
+      let ph = List.nth lcg.prog.phases k in
+      match Ir.Shape.of_phase lcg.prog lcg.env ph with
+      | None -> raise Subtle
+      | Some t ->
+          let sites =
+            List.filter
+              (fun (s : Ir.Shape.site) ->
+                String.equal s.array l.array && Ir.Shape.emits t s)
+              t.sites
+          in
+          if
+            List.exists
+              (fun (s : Ir.Shape.site) ->
+                match s.access with
+                | Ir.Types.Write -> true
+                | Ir.Types.Read -> false)
+              sites
+          then incr writing_phases;
+          let reads =
+            List.filter
+              (fun (s : Ir.Shape.site) ->
+                match s.access with
+                | Ir.Types.Read -> true
+                | Ir.Types.Write -> false)
+              sites
+          in
+          if reads <> [] then begin
+            let boxes = List.filter_map (Ir.Shape.box t) reads in
+            match Lattice.bounds boxes with
+            | None -> ()
+            | Some (lo, hi) -> (
+                match Owncount.intervals_of own ~lo:(lo - w) ~hi:(hi + w) with
+                | None -> raise Subtle
+                | Some owned ->
+                    (* addresses within w of an owned cell but not owned:
+                       the set the ghost zone turns local *)
+                    let sets =
+                      Array.map
+                        (fun o ->
+                          Lattice.Iv.subtract
+                            (Lattice.Iv.union (Lattice.Iv.shift o w)
+                               (Lattice.Iv.shift o (-w)))
+                            o)
+                        owned
+                    in
+                    let chunk = p.(k) in
+                    List.iter
+                      (fun (s : Ir.Shape.site) ->
+                        match
+                          Owncount.per_proc ~h ~chunk ~par:s.par ~par_n:t.par_n
+                            ~base:s.base ~seq:s.seq ~sets
+                        with
+                        | None -> raise Subtle
+                        | Some (_, hits) ->
+                            saved := !saved + Array.fold_left ( + ) 0 hits)
+                      reads)
+          end
+    done;
+    Some (!saved, !writing_phases)
+  with Subtle | Lattice.Overflow -> None
+
+let halo_savings (lcg : Lcg.t) (plan0 : plan) ~p (l : layout) =
+  match !Lattice.mode with
+  | Lattice.Enumerated_only -> halo_savings_enum lcg plan0 ~p l
+  | Lattice.Auto | Lattice.Symbolic_only -> (
+      match halo_savings_symbolic lcg plan0 ~p l with
+      | Some r -> r
+      | None ->
+          Lattice.note_fallback ~stage:"distribution"
+            (l.array ^ " halo payoff");
+          halo_savings_enum lcg plan0 ~p l)
 
 let of_solution (lcg : Lcg.t) ~p : plan =
   let h = lcg.h in
@@ -263,54 +481,18 @@ let of_solution (lcg : Lcg.t) ~p : plan =
         if l.halo <= 0 then l
         else begin
           let size = array_size lcg l.array in
-          let written_in_epoch =
-            let found = ref false in
-            for k = l.first_phase to l.last_phase do
-              Ir.Enumerate.iter lcg.prog lcg.env (List.nth lcg.prog.phases k)
-                ~f:(fun ~par:_ ~array ~addr:_ access ~work:_ ->
-                  if
-                    String.equal array l.array
-                    && (match access with
-                       | Ir.Types.Write -> true
-                       | Ir.Types.Read -> false)
-                  then found := true)
-            done;
-            !found
-          in
           if l.halo >= size then
-            if written_in_epoch then { l with halo = 0 }
+            if epoch_written lcg l then { l with halo = 0 }
             else l (* read-only replication always wins *)
           else begin
-            let saved = ref 0 and writing_phases = ref 0 in
-            for k = l.first_phase to l.last_phase do
-              let ph = List.nth lcg.prog.phases k in
-              let chunk = max 1 p.(k) in
-              let wrote = ref false in
-              Ir.Enumerate.iter lcg.prog lcg.env ph
-                ~f:(fun ~par ~array ~addr access ~work:_ ->
-                  if String.equal array l.array then begin
-                    let proc =
-                      match par with Some i -> i / chunk mod h | None -> 0
-                    in
-                    match access with
-                    | Ir.Types.Write -> wrote := true
-                    | Ir.Types.Read ->
-                        let w = min l.halo l.block in
-                        if
-                          proc_of plan0 l ~addr <> proc
-                          && (proc_of plan0 l ~addr:(addr - w) = proc
-                             || proc_of plan0 l ~addr:(addr + w) = proc)
-                        then incr saved
-                  end);
-              if !wrote then incr writing_phases
-            done;
+            let saved, writing_phases = halo_savings lcg plan0 ~p l in
             let nblocks = (size + l.block - 1) / l.block in
             let frontier_cost =
-              float_of_int !writing_phases
+              float_of_int writing_phases
               *. Cost.frontier machine ~words:(2 * l.halo * nblocks / h)
             in
             let benefit =
-              float_of_int (!saved * (machine.t_remote - machine.t_local))
+              float_of_int (saved * (machine.t_remote - machine.t_local))
               /. float_of_int h
             in
             if benefit > frontier_cost then l else { l with halo = 0 }

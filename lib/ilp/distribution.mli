@@ -42,6 +42,10 @@ type plan = {
 
 val proc_of : plan -> layout -> addr:int -> int
 
+val own_of : h:int -> layout -> Symbolic.Lattice.Own.t
+(** The layout's address-to-processor map as a {!Symbolic.Lattice.Own}
+    piecewise-constant function; agrees with {!proc_of} everywhere. *)
+
 val layout_for : plan -> array:string -> phase_idx:int -> layout option
 (** The layout epoch active at the given phase. *)
 
@@ -54,7 +58,9 @@ val block_plan : Locality.Lcg.t -> plan
 
 val remote_count :
   Locality.Lcg.t -> plan -> layout -> phase_idx:int -> int
-(** Remote accesses the layout induces for its array in one phase
-    (exact, by enumeration). *)
+(** Remote accesses the layout induces for its array in one phase -
+    exact; closed-form when the phase stays inside the symbolic
+    fragment, by enumeration otherwise (or always, under
+    [Lattice.Enumerated_only]). *)
 
 val pp : Format.formatter -> plan -> unit

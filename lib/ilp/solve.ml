@@ -23,19 +23,35 @@ let communication_words (lcg : Lcg.t) ~array ~phase_idx =
       match Lcg.node_of_phase g ~phase_idx with
       | None -> 0
       | Some node -> (
-          try
-            Hashtbl.length
-              (Descriptor.Region.addresses lcg.env node.pd ~par:None)
-          with Descriptor.Region.Not_rectangular _ ->
-            (* fall back to the whole array *)
-            (try
-               Symbolic.Env.eval lcg.env
-                 (Ir.Linearize.size
-                    ~dims:(Ir.Types.array_decl lcg.prog array).dims)
-             with
+          let whole_array () =
+            try
+              Symbolic.Env.eval lcg.env
+                (Ir.Linearize.size
+                   ~dims:(Ir.Types.array_decl lcg.prog array).dims)
+            with
             | Symbolic.Expr.Non_integral _ | Symbolic.Env.Unbound _
             | Symbolic.Qnum.Overflow ->
-                0)))
+                0
+          in
+          let enum () =
+            try
+              Hashtbl.length
+                (Descriptor.Region.addresses lcg.env node.pd ~par:None)
+            with Descriptor.Region.Not_rectangular _ -> whole_array ()
+          in
+          match !Symbolic.Lattice.mode with
+          | Symbolic.Lattice.Enumerated_only -> enum ()
+          | Symbolic.Lattice.Auto | Symbolic.Lattice.Symbolic_only -> (
+              (* Setalg mirrors enumeration's Not_rectangular failures,
+                 so the whole-array degradation fires identically. *)
+              match Descriptor.Setalg.card lcg.env node.pd ~par:None with
+              | Some c -> c
+              | None ->
+                  Symbolic.Lattice.note_fallback ~stage:"solve-words"
+                    (array ^ " region volume");
+                  enum ()
+              | exception Descriptor.Region.Not_rectangular _ ->
+                  whole_array ())))
 
 (* The affine-rational value of a variable in terms of the component
    representative t: p = (num * t + off) / den. *)
@@ -151,13 +167,25 @@ let solve (model : Model.t) (m : Cost.machine) : result =
       lcg.graphs;
     fun a -> Hashtbl.mem tbl a
   in
-  (* [Lcg.halo] is artifact-cached on (env, descriptor, overlap), so
-     the per-candidate pricing below hits the shared store directly. *)
-  let halo_of _array (nd : Lcg.node) = Lcg.halo lcg nd in
+  (* The t-search below prices every candidate chunking, so the
+     per-phase constants (lead node, halo widths, written flags) are
+     hoisted out of the loop; only the p-dependent arithmetic stays
+     inside. *)
+  let phase_nodes = Array.init n nodes_of_phase in
+  let frontier_terms =
+    Array.map
+      (fun nodes ->
+        List.filter_map
+          (fun (array, (nd : Lcg.node)) ->
+            let w = Lcg.halo lcg nd in
+            if w > 0 && array_written array then Some (nd.par_n, w) else None)
+          nodes)
+      phase_nodes
+  in
   let d_cost_of k p =
-    match nodes_of_phase k with
+    match phase_nodes.(k) with
     | [] -> 0.0
-    | ((_, node) :: _ as nodes) ->
+    | (_, node) :: _ ->
         let imbalance =
           Cost.load_imbalance ~n:node.par_n ~p ~h:m.h ~work:node.work
         in
@@ -166,19 +194,16 @@ let solve (model : Model.t) (m : Cost.machine) : result =
            per-processor costing of Exec.event_time). *)
         let frontier =
           List.fold_left
-            (fun acc (array, (nd : Lcg.node)) ->
-              let w = halo_of array nd in
-              if w > 0 && array_written array then
-                let blocks_per_proc =
-                  float_of_int nd.par_n
-                  /. float_of_int (max 1 p)
-                  /. float_of_int m.h
-                in
-                acc
-                +. (blocks_per_proc
-                    *. float_of_int ((2 * m.t_startup) + (4 * w * m.t_word)))
-              else acc)
-            0.0 nodes
+            (fun acc (par_n, w) ->
+              let blocks_per_proc =
+                float_of_int par_n
+                /. float_of_int (max 1 p)
+                /. float_of_int m.h
+              in
+              acc
+              +. (blocks_per_proc
+                  *. float_of_int ((2 * m.t_startup) + (4 * w * m.t_word))))
+            0.0 frontier_terms.(k)
         in
         imbalance +. frontier
   in

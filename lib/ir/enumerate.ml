@@ -1,7 +1,13 @@
 open Symbolic
 open Types
 
+(* Every address-by-address walk passes through here; the counter is
+   the "did we enumerate at all?" probe the symbolic-coverage checks
+   assert on (zero on the closed-form hot path). *)
+let iter_count = Metrics.counter "enum.iter"
+
 let iter (prog : program) (env : Env.t) (ph : phase) ~f =
+  Metrics.incr iter_count;
   let ph = Normalize.phase ph in
   let dims_of = Hashtbl.create 8 in
   let eval_dims env name =

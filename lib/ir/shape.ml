@@ -1,0 +1,167 @@
+open Symbolic
+open Types
+
+type par_shape = Outside | Strided of int | Fixed of int
+
+type site = {
+  array : string;
+  access : access;
+  work : int;
+  base : int;
+  par : par_shape;
+  seq : (int * int) list;
+}
+
+type t = { par_n : int; sites : site list }
+
+exception Out_of_fragment
+
+(* Partial-evaluation budget: total bad-loop iterations expanded per
+   phase.  Registry kernels at seed sizes need a few dozen (tfft2's
+   outer stage loop, trisolve's triangular parallel loop); the budget
+   exists so a size=2^30 triangular nest degrades to [None] instead of
+   hanging. *)
+let expand_budget = 8192
+
+(* The set of loop variables that must be enumerated concretely: those
+   appearing in loop bounds, in non-affine subscript positions, or in
+   another variable's subscript coefficient.  Computed as a fixpoint
+   over the phase's loops and sites. *)
+let bad_vars (pc : Phase.t) =
+  let loopvars = List.map (fun (l : Phase.loop_info) -> l.var) pc.loops in
+  let is_loopvar v = List.mem v loopvars in
+  let bad = Hashtbl.create 8 in
+  let add v = if not (Hashtbl.mem bad v) then Hashtbl.add bad v () in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let n0 = Hashtbl.length bad in
+    List.iter
+      (fun (l : Phase.loop_info) ->
+        List.iter (fun v -> if is_loopvar v then add v) (Expr.vars l.hi))
+      pc.loops;
+    List.iter
+      (fun (s : Phase.site) ->
+        List.iter
+          (fun v ->
+            if not (Hashtbl.mem bad v) then
+              match Expr.linear_in v s.phi with
+              | None -> add v
+              | Some (a, _) ->
+                  List.iter (fun w -> if is_loopvar w then add w) (Expr.vars a))
+          s.enclosing)
+      pc.sites;
+    if Hashtbl.length bad <> n0 then changed := true
+  done;
+  bad
+
+let cache : t option Artifact.store = Artifact.store ~capacity:512 "shape.sites"
+
+let of_phase_raw (prog : program) (env : Env.t) (ph : phase) : t option =
+  match Phase.analyze prog ph with
+  | exception Phase.Invalid_phase _ -> None
+  | pc -> (
+      let bad = bad_vars pc in
+      try
+        let env0 = Env.ephemeral env in
+        let budget = ref expand_budget in
+        let sites = ref [] in
+        (* Good loop vars are bound to 0 on entry, so evaluating φ
+           directly gives the base address (parallel iteration 0, all
+           sequential indices 0), and coefficient expressions - which
+           the fixpoint guarantees contain only bad vars and
+           parameters - evaluate as well.  [goods]: (var, count) of
+           enclosing good sequential loops, outermost first; [par]:
+           the site's parallel-iteration shape so far. *)
+        let rec walk env goods par = function
+          | Assign a ->
+              List.iteri
+                (fun k (r : array_ref) ->
+                  let decl = array_decl prog r.array in
+                  let phi = Linearize.address ~dims:decl.dims r.index in
+                  let coef v =
+                    match Expr.linear_in v phi with
+                    | Some (c, _) -> Env.eval env c
+                    | None -> raise Out_of_fragment
+                  in
+                  let par =
+                    match par with
+                    | `No -> Outside
+                    | `Var v -> Strided (coef v)
+                    | `At i -> Fixed i
+                  in
+                  let base = Env.eval env phi in
+                  let seq = List.map (fun (v, c) -> (c, coef v)) goods in
+                  sites :=
+                    {
+                      array = r.array;
+                      access = r.access;
+                      work = (if k = 0 then a.work else 0);
+                      base;
+                      par;
+                      seq;
+                    }
+                    :: !sites)
+                a.refs
+          | Loop l ->
+              let hi = Env.eval env l.hi in
+              if hi >= 0 then
+                if Hashtbl.mem bad l.var then
+                  for v = 0 to hi do
+                    decr budget;
+                    if !budget < 0 then raise Out_of_fragment;
+                    let par = if l.parallel then `At v else par in
+                    List.iter (walk (Env.add l.var v env) goods par) l.body
+                  done
+                else begin
+                  let par = if l.parallel then `Var l.var else par in
+                  let goods =
+                    if l.parallel then goods else goods @ [ (l.var, hi + 1) ]
+                  in
+                  List.iter (walk (Env.add l.var 0 env) goods par) l.body
+                end
+        in
+        walk env0 [] `No (Loop pc.phase.nest);
+        let par_n =
+          match pc.par with
+          | Some l -> max 0 (Env.eval env0 l.hi + 1)
+          | None -> 1
+        in
+        Some { par_n; sites = List.rev !sites }
+      with
+      | Out_of_fragment | Env.Unbound _ | Expr.Non_integral _
+      | Division_by_zero | Qnum.Division_by_zero ->
+        None)
+
+let of_phase prog env ph =
+  Artifact.find cache
+    Artifact.Key.(list [ Types.phase_context_key prog ph; int (Env.id env) ])
+    (fun () -> of_phase_raw prog env ph)
+
+let events (s : site) =
+  List.fold_left (fun acc (c, _) -> Lattice.Safe.mul_sat acc c) 1 s.seq
+
+let occurrences (t : t) (s : site) =
+  match s.par with Strided _ -> t.par_n | Outside | Fixed _ -> 1
+
+let emits (t : t) (s : site) =
+  events s > 0
+  && match s.par with Strided _ -> t.par_n > 0 | Outside | Fixed _ -> true
+
+let box (t : t) (s : site) =
+  let dims =
+    match s.par with
+    | Outside | Fixed _ -> s.seq
+    | Strided st -> (t.par_n, st) :: s.seq
+  in
+  Lattice.make ~base:s.base dims
+
+let total_work (t : t) =
+  List.fold_left
+    (fun acc s ->
+      if s.work = 0 then acc
+      else
+        let per_iter = Lattice.Safe.mul_sat s.work (events s) in
+        Lattice.Safe.add_sat acc
+          (Lattice.Safe.mul_sat (occurrences t s) per_iter))
+    0 t.sites

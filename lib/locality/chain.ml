@@ -12,27 +12,74 @@ type summary = {
   covers_alike : bool;
 }
 
+(* Member and union sizes by enumeration: the oracle path.  A
+   non-rectangular member contributes nothing (size 0, no addresses in
+   the union), which the symbolic path mirrors. *)
+let sizes_enum (lcg : Lcg.t) (nodes : Lcg.node list) =
+  let union = Hashtbl.create 256 in
+  let members =
+    List.map
+      (fun (n : Lcg.node) ->
+        let size =
+          try
+            let tbl = Region.addresses lcg.env n.pd ~par:None in
+            Hashtbl.iter (fun a () -> Hashtbl.replace union a ()) tbl;
+            Hashtbl.length tbl
+          with Region.Not_rectangular _ -> 0
+        in
+        { name = n.name; phase_idx = n.phase_idx; region_size = size })
+      nodes
+  in
+  (members, Hashtbl.length union)
+
+exception Chain_fallback of string
+
+(* Closed-form member cardinalities and chain-union volume.  A member
+   that raises [Not_rectangular] is size 0 and contributes no boxes,
+   exactly like the enumerating path above. *)
+let sizes_symbolic (lcg : Lcg.t) (nodes : Lcg.node list) =
+  try
+    let all_boxes = ref [] in
+    let members =
+      List.map
+        (fun (n : Lcg.node) ->
+          let size =
+            match Setalg.boxes lcg.env n.pd ~par:None with
+            | bs -> (
+                all_boxes := bs @ !all_boxes;
+                match Lattice.union_card bs with
+                | Some c -> c
+                | None ->
+                    raise (Chain_fallback (n.name ^ " member volume")))
+            | exception Region.Not_rectangular _ -> 0
+            | exception Lattice.Overflow ->
+                raise (Chain_fallback (n.name ^ " address overflow"))
+          in
+          { name = n.name; phase_idx = n.phase_idx; region_size = size })
+        nodes
+    in
+    match Lattice.union_card !all_boxes with
+    | Some c -> Some (members, c)
+    | None -> raise (Chain_fallback "chain union volume")
+  with Chain_fallback reason ->
+    Lattice.note_fallback ~stage:"chain" reason;
+    None
+
+let sizes (lcg : Lcg.t) nodes =
+  match !Lattice.mode with
+  | Lattice.Enumerated_only -> sizes_enum lcg nodes
+  | Lattice.Auto | Lattice.Symbolic_only -> (
+      match sizes_symbolic lcg nodes with
+      | Some r -> r
+      | None -> sizes_enum lcg nodes)
+
 let summaries_raw (lcg : Lcg.t) : summary list =
   List.concat_map
     (fun (g : Lcg.graph) ->
       List.map
         (fun chain ->
           let nodes = List.map (List.nth g.nodes) chain in
-          let union = Hashtbl.create 256 in
-          let members =
-            List.map
-              (fun (n : Lcg.node) ->
-                let size =
-                  try
-                    let tbl = Region.addresses lcg.env n.pd ~par:None in
-                    Hashtbl.iter (fun a () -> Hashtbl.replace union a ()) tbl;
-                    Hashtbl.length tbl
-                  with Region.Not_rectangular _ -> 0
-                in
-                { name = n.name; phase_idx = n.phase_idx; region_size = size })
-              nodes
-          in
-          let chain_size = Hashtbl.length union in
+          let members, chain_size = sizes lcg nodes in
           let max_member =
             List.fold_left (fun acc m -> max acc m.region_size) 0 members
           in
@@ -57,7 +104,8 @@ let summaries_raw (lcg : Lcg.t) : summary list =
 
 (* Summaries are a pure function of the graph, which is itself keyed by
    (program, environment, H); chain membership follows the probed edge
-   labels, so the store is volatile like [Lcg.build]'s. *)
+   labels, so the store is volatile like [Lcg.build]'s.  The accounting
+   mode joins the key so cross-checking runs never share entries. *)
 let memo : summary list Artifact.store =
   Artifact.store ~capacity:256 ~volatile:true "chain.summaries"
 
@@ -66,7 +114,10 @@ let summaries (lcg : Lcg.t) : summary list =
     Artifact.Key.(
       list
         [
-          Ir.Types.program_key lcg.prog; int (Env.id lcg.env); int lcg.h;
+          Ir.Types.program_key lcg.prog;
+          int (Env.id lcg.env);
+          int lcg.h;
+          int (Lattice.mode_tag ());
         ])
     (fun () -> summaries_raw lcg)
 

@@ -28,12 +28,25 @@ type graph = { array : string; nodes : node list; edges : edge list }
 
 type t = { prog : Types.program; env : Env.t; h : int; graphs : graph list }
 
-(* Total abstract work of a phase under the environment. *)
+(* Total abstract work of a phase under the environment: closed form
+   from the phase's event shapes, enumerated only as the oracle (or as
+   the counted fallback when the phase is outside the fragment). *)
 let phase_work prog env ph =
-  let total = ref 0 in
-  Enumerate.iter prog env ph ~f:(fun ~par:_ ~array:_ ~addr:_ _ ~work ->
-      total := !total + work);
-  !total
+  let enum () =
+    let total = ref 0 in
+    Enumerate.iter prog env ph ~f:(fun ~par:_ ~array:_ ~addr:_ _ ~work ->
+        total := !total + work);
+    !total
+  in
+  match !Lattice.mode with
+  | Lattice.Enumerated_only -> enum ()
+  | Lattice.Auto | Lattice.Symbolic_only -> (
+      match Shape.of_phase prog env ph with
+      | Some t -> Shape.total_work t
+      | None ->
+          Lattice.note_fallback ~stage:"lcg-work"
+            ("phase " ^ ph.Types.phase_name ^ " outside affine fragment");
+          enum ())
 
 let build_timer = Metrics.timer "lcg.build"
 let classify_timer = Metrics.timer "lcg.classify"
@@ -142,7 +155,16 @@ let build_memo : t Artifact.store =
 
 let build (prog : Types.program) ~env ~h : t =
   Artifact.find build_memo
-    Artifact.Key.(list [ Types.program_key prog; int (Env.id env); int h ])
+    Artifact.Key.(
+      list
+        [
+          Types.program_key prog;
+          int (Env.id env);
+          int h;
+          (* node works and attrs depend on the accounting mode; keep
+             cross-checking runs from sharing entries *)
+          int (Lattice.mode_tag ());
+        ])
     (fun () -> build_raw prog ~env ~h)
 
 let chains (g : graph) =
@@ -167,18 +189,29 @@ let chains (g : graph) =
 let node_of_phase (g : graph) ~phase_idx =
   List.find_opt (fun n -> n.phase_idx = phase_idx) g.nodes
 
+(* Exact inclusive hull of one parallel iteration's region:
+   (max_int, min_int) when empty, mirroring the enumerating fold. *)
+let iteration_bounds (t : t) (node : node) par =
+  match !Lattice.mode with
+  | Lattice.Enumerated_only ->
+      let tbl = Region.addresses t.env node.pd ~par:(Some par) in
+      Hashtbl.fold (fun a () (lo, hi) -> (min lo a, max hi a)) tbl
+        (max_int, min_int)
+  | Lattice.Auto | Lattice.Symbolic_only -> (
+      (* Hull bounds of a union are always closed-form; Overflow means
+         addresses past native range, which enumeration could not
+         represent either - degrade the same way. *)
+      match Setalg.bounds t.env node.pd ~par:(Some par) with
+      | Some b -> b
+      | None -> (max_int, min_int))
+
 let halo_raw (t : t) (node : node) =
   match node.sym.overlap with
   | Symmetry.No_overlap -> 0
   | Symmetry.Overlap _ | Symmetry.Overlap_unknown -> (
       try
-        let bounds par =
-          let tbl = Region.addresses t.env node.pd ~par:(Some par) in
-          Hashtbl.fold
-            (fun a () (lo, hi) -> (min lo a, max hi a))
-            tbl (max_int, min_int)
-        in
-        let _, ul0 = bounds 0 and lb1, _ = bounds 1 in
+        let _, ul0 = iteration_bounds t node 0
+        and lb1, _ = iteration_bounds t node 1 in
         if ul0 = min_int || lb1 = max_int then 0 else max 0 (ul0 - lb1 + 1)
       with Region.Not_rectangular _ | Expr.Non_integral _ | Env.Unbound _ -> 0)
 
@@ -198,7 +231,12 @@ let halo (t : t) (node : node) =
   Artifact.find halo_memo
     Artifact.Key.(
       list
-        [ int (Env.id t.env); Pd.key node.pd; overlap_key node.sym.overlap ])
+        [
+          int (Env.id t.env);
+          Pd.key node.pd;
+          overlap_key node.sym.overlap;
+          int (Lattice.mode_tag ());
+        ])
     (fun () -> halo_raw t node)
 
 let pp ppf (t : t) =
@@ -225,11 +263,7 @@ let pp ppf (t : t) =
 
 let region_bounds (t : t) (node : node) ~par =
   try
-    let tbl = Region.addresses t.env node.pd ~par:(Some par) in
-    let b =
-      Hashtbl.fold (fun a () (lo, hi) -> (min lo a, max hi a)) tbl
-        (max_int, min_int)
-    in
+    let b = iteration_bounds t node par in
     if fst b = max_int then None else Some b
   with Region.Not_rectangular _ | Expr.Non_integral _ | Env.Unbound _ -> None
 

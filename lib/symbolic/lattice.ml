@@ -1,0 +1,579 @@
+type verdict = Yes | No | Unknown
+
+let verdict_to_string = function Yes -> "yes" | No -> "no" | Unknown -> "unknown"
+
+let verdict_and a b =
+  match (a, b) with
+  | No, _ | _, No -> No
+  | Unknown, _ | _, Unknown -> Unknown
+  | Yes, Yes -> Yes
+
+exception Overflow
+
+module Safe = struct
+  (* Same guards as Qnum's internal add_int/mul_int (PR 4): validate a
+     product by dividing back, a sum by the sign of the result. *)
+  let add a b =
+    let s = a + b in
+    if (a >= 0) = (b >= 0) && (s >= 0) <> (a >= 0) then raise Overflow else s
+
+  let mul a b =
+    if a = 0 || b = 0 then 0
+    else if (a = -1 && b = min_int) || (b = -1 && a = min_int) then raise Overflow
+    else
+      let p = a * b in
+      if p / b <> a then raise Overflow else p
+
+  let add_sat a b =
+    match add a b with
+    | s -> s
+    | exception Overflow -> if a >= 0 then max_int else min_int
+
+  let mul_sat a b =
+    match mul a b with
+    | p -> p
+    | exception Overflow -> if (a >= 0) = (b >= 0) then max_int else min_int
+end
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* Floor/ceiling division with a positive divisor and any dividend. *)
+let fdiv a b = if a >= 0 then a / b else -((-a + b - 1) / b)
+let cdiv a b = if a >= 0 then (a + b - 1) / b else -(-a / b)
+
+(* {1 Boxes} *)
+
+type box = { base : int; dims : (int * int) list }
+
+(* Normal form: strides positive and ascending; equal strides merged
+   set-wise ((c1,s)+(c2,s) covers 0..(c1+c2-2)*s step s); a dense
+   prefix - dimensions whose stride is at most the length of the
+   interval accumulated so far - is collapsed into one stride-1
+   dimension, because the union of translates of [0,p-1] at step s <= p
+   is again an interval. *)
+let make ~base dims =
+  if List.exists (fun (c, _) -> c <= 0) dims then None
+  else begin
+    let base = ref base in
+    let dims =
+      List.filter_map
+        (fun (c, s) ->
+          if c = 1 || s = 0 then None
+          else if s < 0 then begin
+            base := Safe.add !base (Safe.mul (c - 1) s);
+            Some (c, -s)
+          end
+          else Some (c, s))
+        dims
+    in
+    let dims = List.sort (fun (_, s1) (_, s2) -> compare s1 s2) dims in
+    let rec merge = function
+      | (c1, s1) :: (c2, s2) :: rest when s1 = s2 ->
+          merge ((Safe.add c1 (c2 - 1), s1) :: rest)
+      | d :: rest -> d :: merge rest
+      | [] -> []
+    in
+    let dims = merge dims in
+    let p = ref 1 and outer = ref [] in
+    List.iter
+      (fun (c, s) ->
+        if !outer = [] && s <= !p then p := Safe.add !p (Safe.mul (c - 1) s)
+        else outer := (c, s) :: !outer)
+      dims;
+    let dims = (if !p > 1 then [ (!p, 1) ] else []) @ List.rev !outer in
+    Some { base = !base; dims }
+  end
+
+let point x = { base = x; dims = [] }
+let base b = b.base
+let dims b = b.dims
+let lo b = b.base
+
+let span b =
+  List.fold_left (fun acc (c, s) -> Safe.add acc (Safe.mul (c - 1) s)) 0 b.dims
+
+let hi b = Safe.add b.base (span b)
+let shift b k = { b with base = Safe.add b.base k }
+
+(* One ascending scan computing cardinality, intervality and span.
+   Invariant: [interval] implies the set built so far is exactly
+   [0..span], i.e. [card = span + 1]. *)
+type shape = { s_card : int option; s_interval : bool }
+
+let analyze b =
+  let rec scan sp card interval = function
+    | [] -> { s_card = card; s_interval = interval }
+    | (c, s) :: rest ->
+        if s > sp then
+          (* Distinct copies of the current set: positional digits. *)
+          scan
+            (Safe.add sp (Safe.mul (c - 1) s))
+            (Option.map (fun k -> Safe.mul k c) card)
+            (interval && s = sp + 1)
+            rest
+        else if interval then
+          (* Overlapping translates of a full interval stay an interval. *)
+          let sp' = Safe.add sp (Safe.mul (c - 1) s) in
+          scan sp' (Some (Safe.add sp' 1)) true rest
+        else scan (Safe.add sp (Safe.mul (c - 1) s)) None false rest
+  in
+  scan 0 (Some 1) true b.dims
+
+let card b = try (analyze b).s_card with Overflow -> None
+
+let interval b =
+  try if (analyze b).s_interval then Some (b.base, hi b) else None
+  with Overflow -> None
+
+(* Nested-distinct: ascending strides, each strictly larger than the
+   span of everything below it - the positional (mixed-radix) case,
+   where greedy decomposition over descending strides is exact. *)
+let distinct_nested b =
+  let rec go sp = function
+    | [] -> true
+    | (c, s) :: rest -> s > sp && go (Safe.add sp (Safe.mul (c - 1) s)) rest
+  in
+  go 0 b.dims
+
+(* Digits of [x - base] over the dimensions of a nested-distinct box,
+   descending greedy with per-digit clamping; [None] when x is not a
+   member.  Returns digits aligned with [b.dims] (ascending order). *)
+let digits_exn b x =
+  let desc = List.rev b.dims in
+  let rem = ref (x - b.base) in
+  let ds =
+    List.map
+      (fun (c, s) ->
+        let d = fdiv !rem s in
+        let d = if d < 0 then 0 else if d > c - 1 then c - 1 else d in
+        rem := !rem - (d * s);
+        d)
+      desc
+  in
+  if !rem = 0 then Some (List.rev ds) else None
+
+let mem b x =
+  try
+    if x < lo b || x > hi b then No
+    else if distinct_nested b then
+      match digits_exn b x with Some _ -> Yes | None -> No
+    else Unknown
+  with Overflow -> Unknown
+
+let subset a w =
+  try
+    if lo a < lo w || hi a > hi w then No
+    else if (analyze w).s_interval then Yes
+    else if not (distinct_nested w) then Unknown
+    else
+      match digits_exn w a.base with
+      | None -> No
+      | Some ds -> (
+          match digits_exn w (hi a) with
+          | None -> No
+          | Some _ ->
+              (* Try to embed each dimension of [a] into the digit space
+                 of [w]: a dimension (c, s) maps onto the w-dimension of
+                 the largest stride sj dividing s, advancing its digit
+                 by s/sj per step; the walk stays inside w iff the
+                 digit never exceeds its radix. *)
+              let w_dims = Array.of_list w.dims in
+              let digit = Array.of_list ds in
+              let used = Array.make (Array.length w_dims) 0 in
+              let embed (c, s) =
+                let j = ref (-1) in
+                Array.iteri
+                  (fun i (_, sj) -> if sj <= s && s mod sj = 0 then j := i)
+                  w_dims;
+                if !j < 0 then false
+                else
+                  let cj, sj = w_dims.(!j) in
+                  match Safe.mul (c - 1) (s / sj) with
+                  | steps ->
+                      if digit.(!j) + used.(!j) + steps <= cj - 1 then begin
+                        used.(!j) <- used.(!j) + steps;
+                        true
+                      end
+                      else false
+                  | exception Overflow -> false
+              in
+              if List.for_all embed a.dims then Yes else Unknown)
+  with Overflow -> Unknown
+
+(* Same stride vector, combined-nested: each stride strictly larger
+   than the combined span of lower dimensions of both boxes.  Then a
+   difference of members has a unique digit representation, found by
+   descending search over at most two floor candidates per digit. *)
+let same_strides a b =
+  List.length a.dims = List.length b.dims
+  && List.for_all2 (fun (_, s1) (_, s2) -> s1 = s2) a.dims b.dims
+
+let combined_nested a b =
+  let rec go sp da db =
+    match (da, db) with
+    | [], [] -> true
+    | (ca, s) :: ra, (cb, _) :: rb ->
+        s > sp && go (Safe.add sp (Safe.mul (ca + cb - 2) s)) ra rb
+    | _ -> false
+  in
+  go 0 a.dims b.dims
+
+(* Does delta have a representation sum e_j * s_j with
+   e_j in [-(cb_j - 1), ca_j - 1]?  (Dims descending in the search.) *)
+let diff_representable a b delta =
+  let desc = List.rev (List.combine a.dims b.dims) in
+  let rec go delta = function
+    | [] -> delta = 0
+    | ((ca, s), (cb, _)) :: rest ->
+        let f = fdiv delta s in
+        let try_e e =
+          e >= -(cb - 1) && e <= ca - 1 && go (delta - (e * s)) rest
+        in
+        try_e f || try_e (f + 1)
+  in
+  go delta desc
+
+let disjoint a b =
+  try
+    if hi a < lo b || hi b < lo a then Yes
+    else begin
+      (* Lattice separation: all strides share a divisor g that does
+         not divide the base difference. *)
+      let g =
+        List.fold_left (fun g (_, s) -> gcd g s) 0 (a.dims @ b.dims)
+      in
+      if g >= 2 && (a.base - b.base) mod g <> 0 then Yes
+      else if a.dims = [] then (match mem b a.base with Unknown -> Unknown | Yes -> No | No -> Yes)
+      else if b.dims = [] then (match mem a b.base with Unknown -> Unknown | Yes -> No | No -> Yes)
+      else if mem a b.base = Yes || mem b a.base = Yes then
+        (* a base is always a member, so a Yes is a witness point *)
+        No
+      else if (analyze a).s_interval && (analyze b).s_interval then No
+        (* hulls overlap and both are full intervals *)
+      else if same_strides a b && combined_nested a b then
+        if diff_representable a b (b.base - a.base) then No else Yes
+      else Unknown
+    end
+  with Overflow -> Unknown
+
+let bounds = function
+  | [] -> None
+  | b :: rest ->
+      Some
+        (List.fold_left
+           (fun (l, h) b -> (min l (lo b), max h (hi b)))
+           (lo b, hi b) rest)
+
+(* {1 Interval lists} *)
+
+module Iv = struct
+  type t = (int * int) list
+
+  let norm ivs =
+    let ivs = List.filter (fun (l, h) -> l <= h) ivs in
+    let ivs = List.sort compare ivs in
+    let rec merge = function
+      | (l1, h1) :: (l2, h2) :: rest when l2 <= h1 + 1 ->
+          merge ((l1, max h1 h2) :: rest)
+      | iv :: rest -> iv :: merge rest
+      | [] -> []
+    in
+    merge ivs
+
+  let union a b = norm (a @ b)
+
+  let inter a b =
+    let rec go a b acc =
+      match (a, b) with
+      | [], _ | _, [] -> List.rev acc
+      | (l1, h1) :: ra, (l2, h2) :: rb ->
+          let l = max l1 l2 and h = min h1 h2 in
+          let acc = if l <= h then (l, h) :: acc else acc in
+          if h1 < h2 then go ra b acc else go a rb acc
+    in
+    go a b []
+
+  let subtract a b =
+    let rec go a b acc =
+      match a with
+      | [] -> List.rev acc
+      | (l1, h1) :: ra -> (
+          match b with
+          | [] -> go ra b ((l1, h1) :: acc)
+          | (l2, h2) :: rb ->
+              if h2 < l1 then go a rb acc
+              else if l2 > h1 then go ra b ((l1, h1) :: acc)
+              else
+                let acc = if l1 < l2 then (l1, l2 - 1) :: acc else acc in
+                if h1 > h2 then go ((h2 + 1, h1) :: ra) rb acc
+                else go ra b acc)
+    in
+    go a b []
+
+  let shift ivs k = List.map (fun (l, h) -> (Safe.add l k, Safe.add h k)) ivs
+  let clamp ivs ~lo ~hi = inter ivs [ (lo, hi) ]
+
+  let total ivs =
+    List.fold_left (fun acc (l, h) -> Safe.add acc (h - l + 1)) 0 ivs
+
+  let is_empty = function [] -> true | _ -> false
+  let mem ivs x = List.exists (fun (l, h) -> l <= x && x <= h) ivs
+end
+
+(* {1 Union cardinality via digit-space rectangles} *)
+
+let union_dims_limit = 4
+
+(* Volume of a union of axis-aligned integer rectangles, by coordinate
+   compression on the last axis and recursion.  Rectangles are
+   (corner, extent) arrays; all the same dimensionality. *)
+let rec rect_union_volume dim rects =
+  if rects = [] then 0
+  else if dim = 0 then 1
+  else
+    let d = dim - 1 in
+    let cuts =
+      List.concat_map (fun r -> let c, e = r.(d) in [ c; c + e ]) rects
+      |> List.sort_uniq compare
+    in
+    let rec segs acc = function
+      | x1 :: (x2 :: _ as rest) ->
+          let active =
+            List.filter (fun r -> let c, e = r.(d) in c <= x1 && x2 <= c + e) rects
+          in
+          let sub = rect_union_volume d active in
+          segs (Safe.add acc (Safe.mul (x2 - x1) sub)) rest
+      | _ -> acc
+    in
+    segs 0 cuts
+
+let union_card boxes =
+  match boxes with
+  | [] -> Some 0
+  | [ b ] -> card b
+  | _ -> (
+      try
+        if List.for_all (fun b -> (analyze b).s_interval) boxes then
+          Some (Iv.total (Iv.norm (List.map (fun b -> (lo b, hi b)) boxes)))
+        else begin
+          let strides =
+            List.concat_map (fun b -> List.map snd b.dims) boxes
+            |> List.sort_uniq compare
+          in
+          if List.length strides > union_dims_limit then None
+          else begin
+            let strides = Array.of_list strides in
+            let nd = Array.length strides in
+            let origin =
+              List.fold_left (fun m b -> min m b.base) max_int boxes
+            in
+            (* Decompose each base offset over the stride basis,
+               descending greedy; digits must be exact and >= 0. *)
+            let exception Out in
+            let rect_of b =
+              let rem = ref (b.base - origin) in
+              let corner = Array.make nd 0 in
+              for j = nd - 1 downto 0 do
+                let d = !rem / strides.(j) in
+                corner.(j) <- d;
+                rem := !rem - (d * strides.(j))
+              done;
+              if !rem <> 0 then raise Out;
+              let extent = Array.make nd 1 in
+              List.iter
+                (fun (c, s) ->
+                  let j = ref (-1) in
+                  Array.iteri (fun i sj -> if sj = s then j := i) strides;
+                  extent.(!j) <- c)
+                b.dims;
+              Array.init nd (fun j -> (corner.(j), extent.(j)))
+            in
+            match List.map rect_of boxes with
+            | rects ->
+                (* Injectivity of the digit map over the combined hull:
+                   each stride must exceed the span of the hulls of all
+                   lower digits. *)
+                let ok = ref true in
+                let sp = ref 0 in
+                for j = 0 to nd - 1 do
+                  if strides.(j) <= !sp then ok := false;
+                  let cmin =
+                    List.fold_left (fun m r -> min m (fst r.(j))) max_int rects
+                  in
+                  let cmax =
+                    List.fold_left
+                      (fun m r -> max m (fst r.(j) + snd r.(j) - 1))
+                      min_int rects
+                  in
+                  sp := Safe.add !sp (Safe.mul (cmax - cmin) strides.(j))
+                done;
+                if not !ok then None
+                else Some (rect_union_volume nd rects)
+            | exception Out -> None
+          end
+        end
+      with Overflow -> None)
+
+(* {1 Ownership} *)
+
+module Own = struct
+  type t = {
+    h : int;
+    base : int;
+    block : int;
+    period : int option;
+    mirror : int option;
+  }
+
+  let owner o addr =
+    let rel = addr - o.base in
+    let rel = if rel < 0 then 0 else rel in
+    let rel =
+      match o.period with Some d when d > 0 -> rel mod d | _ -> rel
+    in
+    let rel =
+      match o.mirror with
+      | Some m when m > 0 && rel < m -> min rel (m - 1 - rel)
+      | _ -> rel
+    in
+    rel / o.block mod o.h
+
+  (* Largest e in [x, hi] such that the owner is constant on [x, e]:
+     intersect the current period cell, the current block of the
+     (possibly mirrored) fold coordinate, and the current mirror
+     branch. *)
+  let run_end o ~hi x =
+    if x < o.base then min hi (o.base - 1)
+    else begin
+      let rel = x - o.base in
+      let e_period, r =
+        match o.period with
+        | Some d when d > 0 -> (x + (d - (rel mod d)) - 1, rel mod d)
+        | _ -> (max_int, rel)
+      in
+      let e =
+        match o.mirror with
+        | Some m when m > 0 && r < m ->
+            let half = (m - 1) / 2 in
+            if r <= half then
+              (* ascending branch: fold coord f = r *)
+              let e_block = x + (o.block - (r mod o.block)) - 1 in
+              min (min e_period e_block) (x + (half - r))
+            else
+              (* descending branch: f = m-1-r decreases as r grows;
+                 f stays in its block while f >= floor(f/b)*b *)
+              let f = m - 1 - r in
+              let flo = f / o.block * o.block in
+              min e_period (x + (m - 1 - flo - r))
+        | _ -> min e_period (x + (o.block - (r mod o.block)) - 1)
+      in
+      min hi e
+    end
+
+  let segments o ~lo ~hi ~budget =
+    if lo > hi || o.h <= 0 || o.block <= 0 then Some []
+    else begin
+      let acc = ref [] and x = ref lo and n = ref 0 and over = ref false in
+      while !x <= hi && not !over do
+        incr n;
+        if !n > budget then over := true
+        else begin
+          let e = run_end o ~hi !x in
+          let ow = owner o !x in
+          assert (owner o e = ow);
+          acc := (!x, e, ow) :: !acc;
+          x := e + 1
+        end
+      done;
+      if !over then None else Some (List.rev !acc)
+    end
+
+  let intervals o ~lo ~hi ~budget =
+    match segments o ~lo ~hi ~budget with
+    | None -> None
+    | Some segs ->
+        let per = Array.make (max 1 o.h) [] in
+        List.iter (fun (l, h, p) -> per.(p) <- (l, h) :: per.(p)) segs;
+        Some (Array.map List.rev per)
+end
+
+(* {1 Progression-window hit counting}
+
+   f(x) = |[x, x+len-1] /\ [blo, bhi]| is a trapezoid in x: ascending
+   with slope 1 up to the plateau M = min(len, bhi-blo+1), then
+   descending with slope -1.  Summing f over x = a + i*d for i < n
+   splits the index range into three arithmetic series. *)
+
+let range_sum ~c ~first ~step =
+  (* sum_{j=0}^{c-1} (first + j*step); terms are in [0, plateau] so the
+     saturating products only clamp when the true total is huge. *)
+  if c <= 0 then 0
+  else
+    let e = if c land 1 = 0 then c / 2 * (c - 1) else c * ((c - 1) / 2) in
+    Safe.add_sat (Safe.mul_sat c first) (Safe.mul_sat step e)
+
+let window_hits_1 ~a ~d ~n ~len (blo, bhi) =
+  if n <= 0 || len <= 0 || blo > bhi then 0
+  else if d = 0 then
+    let l = max a blo and h = min (a + len - 1) bhi in
+    if l > h then 0 else Safe.mul_sat n (h - l + 1)
+  else
+    let a, d = if d < 0 then (a + ((n - 1) * d), -d) else (a, d) in
+    let m = min len (bhi - blo + 1) in
+    let i_lo = max 0 (cdiv (blo - len + 1 - a) d) in
+    let i_hi = min (n - 1) (fdiv (bhi - a) d) in
+    if i_lo > i_hi then 0
+    else begin
+      let mid = fdiv (bhi + blo + 1 - len) 2 in
+      let t1 = min (blo - len + m) mid in
+      let t2 = max (bhi + 1 - m) (mid + 1) in
+      let ia_hi = min i_hi (fdiv (t1 - a) d) in
+      let id_lo = max i_lo (cdiv (t2 - a) d) in
+      let asc =
+        if ia_hi >= i_lo then
+          range_sum ~c:(ia_hi - i_lo + 1)
+            ~first:(a + (i_lo * d) - (blo - len))
+            ~step:d
+        else 0
+      in
+      let desc =
+        if i_hi >= id_lo then
+          range_sum ~c:(i_hi - id_lo + 1)
+            ~first:(bhi - (a + (id_lo * d)) + 1)
+            ~step:(-d)
+        else 0
+      in
+      let p_lo = max i_lo (ia_hi + 1) and p_hi = min i_hi (id_lo - 1) in
+      let plateau =
+        if p_hi >= p_lo then Safe.mul_sat (p_hi - p_lo + 1) m else 0
+      in
+      Safe.add_sat asc (Safe.add_sat desc plateau)
+    end
+
+let window_hits ~a ~d ~n ~len set =
+  List.fold_left
+    (fun acc iv -> Safe.add_sat acc (window_hits_1 ~a ~d ~n ~len iv))
+    0 set
+
+(* {1 Mode} *)
+
+type mode = Auto | Symbolic_only | Enumerated_only
+
+let mode = ref Auto
+
+let mode_tag () =
+  match !mode with Auto -> 0 | Symbolic_only -> 1 | Enumerated_only -> 2
+
+exception Outside_fragment of string
+
+let fallback_counter = Metrics.counter "symbolic.fallback"
+let fallbacks = ref 0
+
+let note_fallback ~stage reason =
+  incr fallbacks;
+  Metrics.incr fallback_counter;
+  Metrics.incr (Metrics.counter ("symbolic.fallback." ^ stage));
+  if !mode = Symbolic_only then
+    raise (Outside_fragment (stage ^ ": " ^ reason))
+
+let fallback_count () = !fallbacks

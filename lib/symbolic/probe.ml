@@ -16,7 +16,15 @@ let with_seed seed f =
       Artifact.new_generation ())
     f
 
-let sample asm = Assume.sample ~state:!probe_state asm
+(* The base state is never advanced by queries: every query (and every
+   external sampling loop, via [sampler]) draws from its own fork.  A
+   probe's answer therefore depends only on the seed policy and the
+   question asked - never on how many other probes ran first - which is
+   what lets the symbolic and enumerated accountings, whose probe
+   traffic differs, still agree on every shared decision. *)
+let sampler () =
+  let st = Random.State.copy !probe_state in
+  fun asm -> Assume.sample ~state:st asm
 
 (* Bounded memo for the public predicates: probes are deterministic
    given the seed policy, and the analysis re-asks the same questions
@@ -36,10 +44,11 @@ let forall_count = Metrics.counter "probe.forall"
    somewhere, [None] if some evaluation raised. *)
 let forall asm (f : Env.t -> bool) =
   Metrics.incr forall_count;
+  let sample = sampler () in
   let ok = ref true in
   (try
      for _ = 1 to !samples do
-       let env = Assume.sample ~state:!probe_state asm in
+       let env = sample asm in
        if not (f env) then ok := false
      done;
      ()

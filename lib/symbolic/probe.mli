@@ -23,8 +23,12 @@ val with_seed : int -> (unit -> 'a) -> 'a
     answer derived under one probe seed survives into a run under
     another. *)
 
-val sample : Assume.t -> Env.t
-(** Draw one assignment from the probe's internal random state. *)
+val sampler : unit -> Assume.t -> Env.t
+(** A fresh sampling function forked from the probe's base state.
+    Successive calls to the returned function draw distinct
+    assignments; distinct [sampler ()] forks replay the same stream, so
+    a sampling loop's outcome depends only on the seed policy, never on
+    how many probes ran before it. *)
 
 val equal : Assume.t -> Expr.t -> Expr.t -> bool
 val is_zero : Assume.t -> Expr.t -> bool

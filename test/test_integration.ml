@@ -137,6 +137,32 @@ let test_l_chain_no_redistribution () =
             1 (epochs decl.name))
         e.program.arrays)
 
+(* The tentpole guarantee: the closed-form symbolic accounting and the
+   historical enumerated accounting render byte-identical analysis
+   reports on every registry kernel.  [report_core] excludes the
+   diagnostics table, whose fallback-visibility line is mode-dependent
+   by design. *)
+let test_symbolic_enum_parity () =
+  Probe.with_seed 73 (fun () ->
+      let saved = !Lattice.mode in
+      Fun.protect
+        ~finally:(fun () -> Lattice.mode := saved)
+        (fun () ->
+          List.iter
+            (fun (e : Codes.Registry.entry) ->
+              let env = e.env_of_size e.default_size in
+              let render mode =
+                Lattice.mode := mode;
+                let t = Core.Pipeline.run e.program ~env ~h:4 in
+                Format.asprintf "%a" Core.Pipeline.report_core t
+              in
+              let sym = render Lattice.Auto in
+              let enum = render Lattice.Enumerated_only in
+              Alcotest.(check string)
+                (e.name ^ " symbolic = enumerated report")
+                enum sym)
+            Codes.Registry.all))
+
 let test_report_markdown () =
   Probe.with_seed 72 (fun () ->
       let e = Codes.Registry.find "adi" in
@@ -177,5 +203,7 @@ let () =
           Alcotest.test_case "L chains keep one epoch" `Quick
             test_l_chain_no_redistribution;
           Alcotest.test_case "markdown report" `Quick test_report_markdown;
+          Alcotest.test_case "symbolic/enumerated parity" `Quick
+            test_symbolic_enum_parity;
         ] );
     ]

@@ -180,6 +180,22 @@ let test_uncertified () =
     "info severity" true
     (severity_of "LINT-UNCERTIFIED" f = Diag.Info)
 
+let test_symbolic_fallback () =
+  (* emitted by the pipeline rather than a lint rule: an analysis step
+     that leaves the closed-form symbolic fragment falls back to
+     address enumeration and the run records the count *)
+  let e = Codes.Registry.find "tfft2" in
+  let t =
+    Core.Pipeline.run e.program ~env:(e.env_of_size e.default_size) ~h:4
+  in
+  let f = Core.Pipeline.diagnostics t in
+  Alcotest.(check bool)
+    "LINT-SYMBOLIC-FALLBACK fires" true
+    (has "LINT-SYMBOLIC-FALLBACK" f);
+  Alcotest.(check bool)
+    "info severity" true
+    (severity_of "LINT-SYMBOLIC-FALLBACK" f = Diag.Info)
+
 let test_catalog_covered () =
   (* every cataloged code has a negative test in this file *)
   let tested =
@@ -193,6 +209,7 @@ let test_catalog_covered () =
       "LINT-DEAD-WRITE";
       "LINT-RACE";
       "LINT-UNCERTIFIED";
+      "LINT-SYMBOLIC-FALLBACK";
     ]
   in
   List.iter
@@ -210,7 +227,9 @@ let golden =
     ("swim", [ "LINT-NONNORMAL" ]);
     ("tomcatv", [ "LINT-NONNORMAL" ]);
     ("matmul", []);
-    ("adi", [ "LINT-NONNORMAL"; "LINT-UNCERTIFIED" ]);
+    (* congruence separation in Racecheck certifies ADI's row sweep,
+       so it no longer carries LINT-UNCERTIFIED *)
+    ("adi", [ "LINT-NONNORMAL" ]);
     ("redblack", [ "LINT-NONNORMAL" ]);
     ("trisolve", []);
     ("mgrid", [ "LINT-NONNORMAL" ]);
@@ -338,6 +357,7 @@ let () =
           Alcotest.test_case "dead write" `Quick test_dead_write;
           Alcotest.test_case "race" `Quick test_race;
           Alcotest.test_case "uncertified" `Quick test_uncertified;
+          Alcotest.test_case "symbolic fallback" `Quick test_symbolic_fallback;
           Alcotest.test_case "catalog covered" `Quick test_catalog_covered;
         ] );
       ( "golden",

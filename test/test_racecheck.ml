@@ -129,6 +129,85 @@ let test_read_only_independent () =
     (certify prog)
 
 (* ------------------------------------------------------------------ *)
+(* Congruence (residue-class) separation: rows whose sequential spans
+   overlap massively but whose addresses stay in per-iteration residue
+   classes mod the matrix row length *)
+
+let test_congruence_rows_of_matrix () =
+  (* U(r + N*c), parallel r, sequential c: iteration r only ever
+     touches addresses = r (mod N).  The span-based tests cannot
+     separate the rows (spans ~ N^2 dwarf the offset gap), the
+     congruence closure can. *)
+  let prog =
+    one_phase
+      ~arrays:[ Build.array "U" [ Expr.mul (v "N") (v "N") ] ]
+      Build.(
+        do_ "r" ~lo:(int 0) ~hi:(v "N" - int 1)
+          [
+            do_ "c" ~lo:(int 1) ~hi:(v "N" - int 1)
+              [
+                assign
+                  [
+                    read "U" [ var "r" + (var "N" * (var "c" - int 1)) ];
+                    write "U" [ var "r" + (var "N" * var "c") ];
+                  ];
+              ];
+          ])
+  in
+  Alcotest.check verdict "row-confined accesses independent"
+    Racecheck.Proved_independent (certify prog)
+
+let test_congruence_row_crossing_not_certified () =
+  (* Same shape but the write lands on the *next* row: iterations r and
+     r+1 share cells, so a certificate would be unsound.  The verdict
+     may be Unknown (the rows are not dense, so no witness either) but
+     must never be Proved_independent. *)
+  let prog =
+    one_phase
+      ~arrays:[ Build.array "U" [ Expr.mul (v "N") (Expr.add (v "N") Expr.one) ] ]
+      Build.(
+        do_ "r" ~lo:(int 0) ~hi:(v "N" - int 1)
+          [
+            do_ "c" ~lo:(int 1) ~hi:(v "N" - int 1)
+              [
+                assign
+                  [
+                    read "U" [ var "r" + (var "N" * (var "c" - int 1)) ];
+                    write "U" [ var "r" + int 1 + (var "N" * var "c") ];
+                  ];
+              ];
+          ])
+  in
+  match certify prog with
+  | Racecheck.Proved_independent ->
+      Alcotest.fail "row-crossing writes wrongly certified independent"
+  | _ -> ()
+
+(* The adi row sweep is the motivating kernel: its N-strided recurrence
+   rows were Unknown before the congruence closure.  Pin the upgraded
+   verdict and replay it against the dynamic oracle on sampled
+   environments. *)
+let test_congruence_adi_rowsweep () =
+  let prog = Codes.Adi.program in
+  let ph =
+    List.find
+      (fun (p : Types.phase) -> String.equal p.phase_name "ROWSWEEP")
+      prog.Types.phases
+  in
+  (match Racecheck.certify prog ph ~loop_path:[] with
+  | Racecheck.Proved_independent -> ()
+  | other ->
+      Alcotest.failf "adi ROWSWEEP no longer certified: %s"
+        (Racecheck.verdict_to_string other));
+  let st = Random.State.make [| 19; 99; 7 |] in
+  List.iter
+    (fun _ ->
+      let env = Assume.sample ~state:st prog.Types.params in
+      Alcotest.(check bool) "oracle confirms adi ROWSWEEP independence" true
+        (Autopar.independent prog env ph ~loop_path:[]))
+    [ (); (); () ]
+
+(* ------------------------------------------------------------------ *)
 (* Differential harness: certifier vs. dynamic oracle on the registry *)
 
 let sample_envs (prog : Types.program) k =
@@ -297,6 +376,15 @@ let () =
             test_overlapping_spans_dependent;
           Alcotest.test_case "non-affine" `Quick test_nonaffine_unknown;
           Alcotest.test_case "read-only" `Quick test_read_only_independent;
+        ] );
+      ( "congruence",
+        [
+          Alcotest.test_case "rows of a matrix" `Quick
+            test_congruence_rows_of_matrix;
+          Alcotest.test_case "row-crossing not certified" `Quick
+            test_congruence_row_crossing_not_certified;
+          Alcotest.test_case "adi rowsweep certified" `Quick
+            test_congruence_adi_rowsweep;
         ] );
       ( "differential",
         [
