@@ -728,6 +728,62 @@ let bench_curve () =
     * List.length hs * List.length size_exps)
 
 (* ------------------------------------------------------------------ *)
+(* Deep fuzz pipelines: the 50-100-phase programs the fuzzer's deep
+   profile emits are the stress case for the Eq. 7 chain solver, so
+   record its wall time and budget-exhaustion rate on a fixed seeded
+   sample (BENCH_pipeline.json, schema bench_fuzz_deep/1). *)
+
+let bench_fuzz_deep () =
+  sep "Eq. 7 solver on deep fuzz pipelines (BENCH_pipeline.json)";
+  let h = 4 in
+  let sample = List.init 3 (fun i -> Fuzz.Gen.program Fuzz.Gen.deep ~seed:2026 ~index:i) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"schema\":\"bench_fuzz_deep/1\",\"rev\":\"%s\",\"date\":\"%s\",\"h\":%d,\"programs\":["
+       (Metrics.json_escape (git_rev ()))
+       (Metrics.json_escape (utc_date ()))
+       h);
+  Printf.printf "%-12s %7s %12s %10s %7s\n" "program" "phases" "solve ms"
+    "objective" "budget";
+  let exhausted = ref 0 in
+  List.iteri
+    (fun i prog ->
+      let env = Fuzz.Gen.midpoint_env prog in
+      let t = Core.Pipeline.run prog ~env ~h in
+      let model = Ilp.Model.of_lcg t.lcg in
+      let machine = Ilp.Cost.default_machine ~h in
+      let t0 = Metrics.now () in
+      let sol = Ilp.Solve.solve model machine in
+      let wall = Metrics.now () -. t0 in
+      if sol.budget_exhausted then incr exhausted;
+      Printf.printf "%-12s %7d %12.2f %10.1f %7b\n%!"
+        prog.Ir.Types.prog_name
+        (List.length prog.Ir.Types.phases)
+        (1000. *. wall) sol.objective sol.budget_exhausted;
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"program\":\"%s\",\"phases\":%d,\"solve_wall_seconds\":%s,\"objective\":%s,\"budget_exhausted\":%b}"
+           (Metrics.json_escape prog.Ir.Types.prog_name)
+           (List.length prog.Ir.Types.phases)
+           (Metrics.json_float wall)
+           (Metrics.json_float sol.objective)
+           sol.budget_exhausted))
+    sample;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"budget_exhausted_rate\":%s}\n"
+       (Metrics.json_float
+          (float_of_int !exhausted /. float_of_int (List.length sample))));
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_pipeline.json"
+  in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "appended to BENCH_pipeline.json (%d deep programs)\n"
+    (List.length sample)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing: one Test per table/figure *)
 
 let bechamel () =
@@ -818,6 +874,7 @@ let () =
       stability ();
       validation ();
       bench_pipeline ();
+      bench_fuzz_deep ();
       let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
       if not quick then bechamel ()
       end)

@@ -12,6 +12,9 @@
                             [--inject-faults SEED:RATE] [--retries N]
      dsmloc sweep    <code> [--size N]
      dsmloc file     <path.dsm> [--procs H] [--env K=V,K=V]
+     dsmloc fuzz     [--count N] [--seed S] [--jobs N] [--deep-every N]
+                     [--determinism-sample N] [--wall-cap S] [--out DIR]
+                     [--inject-mutation] [--no-shrink]
      dsmloc serve    --socket PATH | --stdio [--workers N] [--deadline S] ...
      dsmloc request  <path.dsm|-> --socket PATH [--procs H] [--env K=V]
 
@@ -1071,6 +1074,113 @@ let lint_cmd =
           files; exits 2 when any error-severity finding is reported.")
     Term.(const f $ targets_arg $ all_arg $ lint_strict_arg)
 
+(* ------------------------------------------------------------------ *)
+(* fuzz: the mass differential-fuzzing campaign (Fuzz.Campaign) behind
+   a thin flag surface.  Exit codes: 0 campaign clean, 2 findings. *)
+
+let fuzz_cmd =
+  let count_arg =
+    let doc = "Number of programs to generate and run through the battery." in
+    Arg.(value & opt int 200 & info [ "count"; "n" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Campaign seed: program $(i,i) is deterministic in (seed, $(i,i))."
+    in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let jobs_arg =
+    let doc = "Number of forked worker processes." in
+    Arg.(value & opt int 4 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let deep_arg =
+    let doc =
+      "Every $(docv)-th program uses the deep 50-100-phase profile (0 \
+       disables deep programs)."
+    in
+    Arg.(value & opt int 25 & info [ "deep-every" ] ~docv:"N" ~doc)
+  in
+  let det_arg =
+    let doc =
+      "Re-run the first $(docv) programs on a single worker and require \
+       verdict-vector equality (the 1-vs-N determinism differential; 0 \
+       disables)."
+    in
+    Arg.(value & opt int 8 & info [ "determinism-sample" ] ~docv:"N" ~doc)
+  in
+  let wall_arg =
+    let doc =
+      "Wall-clock cap in seconds, checked between scheduling chunks; 0 \
+       means uncapped."
+    in
+    Arg.(value & opt float 0. & info [ "wall-cap" ] ~docv:"SECONDS" ~doc)
+  in
+  let out_arg =
+    let doc = "Directory where shrunk reproducers (and .golden snapshots) land." in
+    Arg.(
+      value
+      & opt string (Filename.concat "examples" "programs")
+      & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let mutation_arg =
+    let doc =
+      "Self-test fault injection: skew every closed-form union \
+       cardinality by +1 (Symbolic.Lattice.test_card_skew) in every \
+       worker.  The enum-parity differential must catch it, so a clean \
+       exit under this flag is itself a campaign failure."
+    in
+    Arg.(value & flag & info [ "inject-mutation" ] ~doc)
+  in
+  let no_shrink_arg =
+    let doc = "Keep failing programs at full size (skip the shrinker)." in
+    Arg.(value & flag & info [ "no-shrink" ] ~doc)
+  in
+  let f () count seed jobs deep_every det wall out mutation no_shrink =
+    let cfg =
+      {
+        Fuzz.Campaign.count;
+        seed;
+        jobs;
+        deep_every;
+        determinism_sample = det;
+        wall_cap = wall;
+        out_dir = out;
+        skew = (if mutation then 1 else 0);
+        shrink = not no_shrink;
+      }
+    in
+    let st = Fuzz.Campaign.run ~log:prerr_endline cfg in
+    List.iter
+      (fun (fd : Fuzz.Campaign.finding) ->
+        Printf.printf "FINDING\t%s\t%d\t%s\t%s\t%s\n" fd.f_profile fd.f_index
+          fd.f_check
+          (Option.value fd.f_repro ~default:"-")
+          fd.f_detail)
+      st.s_findings;
+    Printf.printf "fuzz: %d/%d programs, %d finding(s)%s\n" st.s_ran count
+      (List.length st.s_findings)
+      (if st.s_wall_capped then " (wall cap reached)" else "");
+    if mutation && st.s_findings = [] then begin
+      prerr_endline
+        "fuzz: --inject-mutation produced no findings - the differential \
+         battery failed to catch a known-bad descriptor algebra";
+      exit 1
+    end;
+    if st.s_findings <> [] then exit 2
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Mass differential fuzzing: generate seeded random phase \
+          pipelines, run each through the differential battery \
+          (symbolic-vs-enumerated parity, race certifier vs dynamic \
+          oracle, ILP vs chain solver, schedule parity, cold-vs-warm, \
+          1-vs-N determinism) on a crash-isolated worker pool, and \
+          shrink every mismatch to a minimal reproducer.")
+    Term.(
+      const f $ profile_term $ count_arg $ seed_arg $ jobs_arg $ deep_arg
+      $ det_arg $ wall_arg $ out_arg $ mutation_arg $ no_shrink_arg)
+
 let () =
   let info =
     Cmd.info "dsmloc" ~version:"1.0.0"
@@ -1081,4 +1191,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; analyze_cmd; batch_cmd; lcg_cmd; solve_cmd; simulate_cmd; sweep_cmd; comm_cmd; dot_cmd; spmd_cmd; report_cmd; table1_cmd; stability_cmd; validate_cmd; file_cmd; lint_cmd; serve_cmd; request_cmd ]))
+          [ list_cmd; analyze_cmd; batch_cmd; lcg_cmd; solve_cmd; simulate_cmd; sweep_cmd; comm_cmd; dot_cmd; spmd_cmd; report_cmd; table1_cmd; stability_cmd; validate_cmd; file_cmd; lint_cmd; fuzz_cmd; serve_cmd; request_cmd ]))

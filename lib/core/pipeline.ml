@@ -32,6 +32,20 @@ let describe = function
       "outside the closed-form fragment under --symbolic-only: " ^ s
   | e -> Printexc.to_string e
 
+(* Total front door for surface text: any parse failure lands in the
+   collector as a positioned Frontend-stage diagnostic instead of an
+   exception.  [where] is the source's display name (a path, "<stdin>",
+   "fuzz[17]", ...); the diagnostic position is "<where>:<line>". *)
+let parse_program ?diags ~where source =
+  let diags = match diags with Some d -> d | None -> Diag.collector () in
+  match Frontend.Parse.program source with
+  | prog -> Some prog
+  | exception Frontend.Parse.Error { line; message } ->
+      Diag.addf diags ~severity:Diag.Error ~stage:Diag.Frontend
+        ~where:(Printf.sprintf "%s:%d" where line)
+        ~code:"FRONTEND-PARSE" "%s" message;
+      None
+
 let guard ~strict ~diags ~stage ~code ~fallback f =
   try f ()
   with e when (not strict) && recoverable e ->

@@ -64,6 +64,14 @@ val run :
     external collector (e.g. one with a [max_errors] cap); a fresh
     unbounded one is created otherwise. *)
 
+val parse_program :
+  ?diags:Diag.collector -> where:string -> string -> Ir.Types.program option
+(** Total wrapper over {!Frontend.Parse.program}: a parse or lexer
+    failure records a positioned [FRONTEND-PARSE] error diagnostic
+    (stage [Frontend], position ["<where>:<line>"]) and returns [None]
+    instead of raising.  [where] names the source for the position
+    column (a path, ["<stdin>"], a generator tag). *)
+
 val diagnostics : t -> Diag.t list
 (** Diagnostics recorded so far, in order - grows as [simulate] /
     [simulate_baseline] record communication and fault diagnostics. *)

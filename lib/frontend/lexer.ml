@@ -83,7 +83,17 @@ let rec scan t : token =
         while t.pos < String.length t.src && is_digit t.src.[t.pos] do
           t.pos <- t.pos + 1
         done;
-        INT (int_of_string (String.sub t.src start (t.pos - start)))
+        let digits = String.sub t.src start (t.pos - start) in
+        (match int_of_string_opt digits with
+        | Some n -> INT n
+        | None ->
+            raise
+              (Error
+                 {
+                   line = t.line;
+                   message =
+                     Printf.sprintf "integer literal %s out of range" digits;
+                 }))
     | c when is_alpha c ->
         let start = t.pos in
         while

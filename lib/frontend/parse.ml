@@ -7,9 +7,24 @@ type state = {
   lx : Lexer.t;
   mutable arrays : Types.array_decl list;  (** declared so far *)
   mutable subs : Inline.subroutine list;
+  mutable depth : int;  (** expression nesting, bounded by [max_depth] *)
 }
 
 let fail st message = raise (Error { line = Lexer.line st.lx; message })
+
+(* Hostile sources (a megabyte of '(' or of '^') must fail with a
+   positioned error, not blow the stack: expression nesting is bounded
+   here, and [program] additionally converts a [Stack_overflow] from
+   any other unbounded recursion (e.g. pathological statement counts)
+   into a positioned parse error. *)
+let max_depth = 200
+
+let deeper st f =
+  if st.depth >= max_depth then fail st "expression nested too deeply";
+  st.depth <- st.depth + 1;
+  let v = f () in
+  st.depth <- st.depth - 1;
+  v
 
 let expect st tok =
   let got = Lexer.next st.lx in
@@ -96,7 +111,7 @@ and parse_pow st =
   match Lexer.peek st.lx with
   | Lexer.CARET -> (
       ignore (Lexer.next st.lx);
-      let exponent = parse_pow st (* right associative *) in
+      let exponent = deeper st (fun () -> parse_pow st) (* right associative *) in
       match (base.expr, exponent.expr) with
       | Some b, Some e when Expr.equal b (Expr.int 2) ->
           { expr = Some (Expr.pow2 e); reads = base.reads @ exponent.reads }
@@ -118,7 +133,7 @@ and parse_atom st =
       | Some e -> { v with expr = Some (Expr.neg e) }
       | None -> fail st "cannot negate an array reference")
   | Lexer.LPAREN ->
-      let v = parse_expr st in
+      let v = deeper st (fun () -> parse_expr st) in
       expect st Lexer.RPAREN;
       v
   | Lexer.IDENT name ->
@@ -318,7 +333,7 @@ let parse_call st tag : Inline.call =
   }
 
 let program source =
-  let st = { lx = Lexer.of_string source; arrays = []; subs = [] } in
+  let st = { lx = Lexer.of_string source; arrays = []; subs = []; depth = 0 } in
   try
     skip_newlines st;
     expect st (Lexer.KW "program");
@@ -396,7 +411,11 @@ let program source =
       phases = List.rev !phases;
       repeats = !repeats;
     }
-  with Lexer.Error { line; message } -> raise (Error { line; message })
+  with
+  | Lexer.Error { line; message } -> raise (Error { line; message })
+  | Stack_overflow ->
+      raise
+        (Error { line = Lexer.line st.lx; message = "program nested too deeply" })
 
 let program_file path =
   let ic = open_in_bin path in

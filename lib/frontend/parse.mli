@@ -44,7 +44,11 @@
 exception Error of { line : int; message : string }
 
 val program : string -> Ir.Types.program
-(** Parse a full program from source text. @raise Error *)
+(** Parse a full program from source text.  Total over hostile input:
+    {e every} failure - lexer errors, oversized integer literals,
+    pathological nesting (bounded expression depth plus a
+    [Stack_overflow] net) - surfaces as a positioned {!Error}; no
+    other exception escapes.  @raise Error *)
 
 val program_file : string -> Ir.Types.program
 (** Parse from a file path. @raise Error and [Sys_error]. *)

@@ -1,0 +1,60 @@
+(** The mass differential-fuzzing campaign behind [dsmloc fuzz].
+
+    Generated programs are dispatched in deterministic submission order
+    through {!Core.Pool.map} - each battery run is crash-isolated in a
+    forked worker with fully reset analysis state - in bounded chunks
+    so a wall-clock cap can stop between chunks.  The campaign then:
+
+    - re-runs a prefix of the indices on a single worker and compares
+      the verdict vectors structurally (the 1-vs-N worker determinism
+      differential);
+    - reproduces every failing index in-process, shrinks it with
+      {!Shrink} under the finding's own check as the keep predicate,
+      and writes a [fuzz_<check>_s<seed>_<index>.dsm] reproducer plus a
+      [.golden] snapshot of the verdict into [out_dir];
+    - converts worker crashes and non-reproducible failures into
+      findings of their own rather than dropping them.
+
+    [skew] threads {!Symbolic.Lattice.test_card_skew} into every worker
+    (and into in-process reproduction), so the deliberately injected
+    descriptor-algebra mutation exercises the whole detect-shrink-write
+    path as a self-test. *)
+
+type config = {
+  count : int;  (** programs to generate *)
+  seed : int;  (** campaign seed; program i is [Gen.program ~seed ~index:i] *)
+  jobs : int;  (** pool worker processes *)
+  deep_every : int;  (** every n-th program uses {!Gen.deep}; 0 = never *)
+  determinism_sample : int;  (** prefix re-run at 1 worker; 0 = skip *)
+  wall_cap : float;  (** seconds; 0 = uncapped.  Checked between chunks. *)
+  out_dir : string;  (** where reproducers and goldens are written *)
+  skew : int;  (** injected {!Symbolic.Lattice.test_card_skew} *)
+  shrink : bool;  (** minimize failing programs before writing *)
+}
+
+val default_config : config
+(** 200 programs, seed 42, 4 jobs, deep every 25th, determinism over
+    the first 8, no wall cap, [examples/programs], no skew, shrinking
+    on. *)
+
+type finding = {
+  f_index : int;  (** generation index, -1 for campaign-level findings *)
+  f_profile : string;  (** ["default"] | ["deep"] | ["campaign"] *)
+  f_check : string;  (** failing check, or ["worker-crash"] / ["determinism"] *)
+  f_detail : string;
+  f_source : string;  (** unshrunk source ([""] for campaign-level) *)
+  f_shrunk : string option;  (** minimized source, when shrinking succeeded *)
+  f_repro : string option;  (** path of the written reproducer *)
+}
+
+type stats = {
+  s_ran : int;  (** battery runs completed (including retried ones) *)
+  s_findings : finding list;  (** in index order *)
+  s_wall_capped : bool;  (** true when the cap stopped the campaign early *)
+}
+
+val run : ?log:(string -> unit) -> config -> stats
+(** Execute the campaign.  [log] receives one-line progress messages
+    (chunk boundaries, findings, reproducer paths).  Never raises on
+    differential findings - they are data; file-system errors writing
+    reproducers do raise. *)

@@ -1,0 +1,260 @@
+open Symbolic
+
+type verdict = Pass | Skip of string | Fail of string
+
+type check = {
+  name : string;
+  doc : string;
+  run : Ir.Types.program -> verdict;
+}
+
+let h = 4
+
+let with_mode m f =
+  let saved = !Lattice.mode in
+  Fun.protect
+    ~finally:(fun () -> Lattice.mode := saved)
+    (fun () ->
+      Lattice.mode := m;
+      f ())
+
+let run_pipeline prog =
+  Core.Pipeline.run prog ~env:(Gen.midpoint_env prog) ~h
+
+let render prog =
+  let t = run_pipeline prog in
+  (Format.asprintf "%a@." Core.Pipeline.report_core t, t)
+
+let first_diff a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go i = function
+    | [], [] -> None
+    | x :: xs, y :: ys -> if String.equal x y then go (i + 1) (xs, ys) else Some (i, x, y)
+    | x :: _, [] -> Some (i, x, "<missing>")
+    | [], y :: _ -> Some (i, "<missing>", y)
+  in
+  go 1 (la, lb)
+
+(* ------------------------------------------------------------------ *)
+
+let roundtrip prog =
+  let src = Frontend.Unparse.to_string prog in
+  match Core.Pipeline.parse_program ~where:"<fuzz>" src with
+  | None -> Fail "generated source does not parse back"
+  | Some p2 ->
+      let src2 = Frontend.Unparse.to_string p2 in
+      if String.equal src src2 then Pass
+      else
+        Fail
+          (match first_diff src src2 with
+          | Some (l, a, b) ->
+              Printf.sprintf "unparse not a fixed point at line %d: %S vs %S" l a b
+          | None -> "unparse not a fixed point")
+
+(* Diagnostics compared structurally, modulo the fallback-visibility
+   note only the symbolic side can emit (mode-dependent by design). *)
+let diag_sig t =
+  List.filter_map
+    (fun (d : Core.Diag.t) ->
+      if String.equal d.Core.Diag.code "LINT-SYMBOLIC-FALLBACK" then None
+      else Some (Printf.sprintf "%s|%s" d.Core.Diag.code d.Core.Diag.message))
+    (Core.Pipeline.diagnostics t)
+
+let enum_parity prog =
+  let sym, t = with_mode Lattice.Auto (fun () -> render prog) in
+  let enu, te = with_mode Lattice.Enumerated_only (fun () -> render prog) in
+  match first_diff sym enu with
+  | Some (l, a, b) ->
+      Fail
+        (Printf.sprintf
+           "symbolic and enumerated reports diverge at line %d: %S vs %S" l a b)
+  | None ->
+      if diag_sig t <> diag_sig te then
+        Fail "symbolic and enumerated diagnostics diverge"
+      else Pass
+
+let race_oracle prog =
+  let diags = Core.Diag.collector () in
+  let (_ : Ir.Types.program) =
+    Core.Lint.autopar ~envs:[ Gen.midpoint_env prog ] ~diags prog
+  in
+  match
+    List.find_opt
+      (fun (d : Core.Diag.t) -> String.equal d.code "RACE-ORACLE-MISMATCH")
+      (Core.Diag.to_list diags)
+  with
+  | Some d -> Fail ("certifier vs dynamic oracle: " ^ d.message)
+  | None -> Pass
+
+(* Exact evaluation of an LP row at an integer point. *)
+let satisfies_row (c : Ilp.Lp.constr) (p : int array) =
+  let s = ref Qnum.zero in
+  Array.iteri (fun i q -> s := Qnum.add !s (Qnum.mul q (Qnum.of_int p.(i)))) c.coeffs;
+  match c.cmp with
+  | Ilp.Lp.Le -> Qnum.compare !s c.rhs <= 0
+  | Ilp.Lp.Ge -> Qnum.compare !s c.rhs >= 0
+  | Ilp.Lp.Eq -> Qnum.equal !s c.rhs
+
+let satisfies_lp (lp : Ilp.Lp.problem) p =
+  List.for_all (fun c -> satisfies_row c p) lp.constraints
+
+let ilp_chain prog =
+  let t = with_mode Lattice.Auto (fun () -> run_pipeline prog) in
+  if Core.Pipeline.degraded t then Skip "pipeline degraded"
+  else if t.solution.budget_exhausted then Skip "chain enumeration budget exhausted"
+  else begin
+    let model = t.model in
+    let sol = t.solution in
+    (* 1. The chain point satisfies every row it claims to: the
+       non-broken locality equalities and the load-balance bounds. *)
+    let broken (l : Ilp.Model.locality) =
+      List.exists
+        (fun (a, k, g) -> String.equal a l.array && k = l.k && g = l.g)
+        sol.broken
+    in
+    let bad_loc =
+      List.find_opt
+        (fun (l : Ilp.Model.locality) ->
+          (not (broken l)) && l.ai * sol.p.(l.k) <> (l.bi * sol.p.(l.g)) + l.ci)
+        model.locality
+    in
+    let bad_bound =
+      List.find_opt
+        (fun (b : Ilp.Model.bound) -> sol.p.(b.k) < 1 || sol.p.(b.k) > b.hi)
+        model.bounds
+    in
+    match (bad_loc, bad_bound) with
+    | Some l, _ ->
+        Fail
+          (Printf.sprintf
+             "chain point violates unbroken locality row %s: %d p%d = %d p%d + %d"
+             l.array l.ai l.k l.bi l.g l.ci)
+    | _, Some b ->
+        Fail
+          (Printf.sprintf "chain point violates bound row: p%d = %d not in 1..%d"
+             b.k sol.p.(b.k) b.hi)
+    | None, None -> (
+        (* 2. Branch-and-bound over the same rows (maximize sum p_k)
+           must agree on feasibility, and its optimum bounds any chain
+           point that satisfies the full row set (storage included). *)
+        let lp =
+          Ilp.Model.to_lp model
+            ~objective:(Array.make model.n_phases Qnum.one)
+        in
+        let chain_fully_feasible = sol.broken = [] && satisfies_lp lp sol.p in
+        match Ilp.Ilp_solver.solve_budgeted lp with
+        | _, true -> Skip "branch-and-bound budget exhausted"
+        | Ilp.Ilp_solver.Infeasible, false ->
+            if chain_fully_feasible then
+              Fail "B&B says infeasible, but the chain point satisfies every row"
+            else Pass
+        | Ilp.Ilp_solver.Unbounded, false ->
+            if model.bounds <> [] then
+              Fail "B&B says unbounded despite load-balance bound rows"
+            else Skip "no bound rows"
+        | Ilp.Ilp_solver.Optimal { value; point }, false ->
+            if not (satisfies_lp lp point) then
+              Fail "B&B optimum violates its own rows"
+            else if
+              chain_fully_feasible
+              && Qnum.compare
+                   (Qnum.of_int (Array.fold_left ( + ) 0 sol.p))
+                   value
+                 > 0
+            then
+              Fail
+                (Printf.sprintf
+                   "chain point is feasible with sum %d, above the B&B maximum %s"
+                   (Array.fold_left ( + ) 0 sol.p)
+                   (Qnum.to_string value))
+            else Pass)
+  end
+
+let comm_parity prog =
+  let t = with_mode Lattice.Auto (fun () -> run_pipeline prog) in
+  let schedule mode =
+    with_mode mode (fun () ->
+        let errs = ref [] in
+        let sched =
+          Dsmsim.Comm.generate ~on_error:(fun m -> errs := m :: !errs) t.lcg t.plan
+        in
+        ( Format.asprintf "%a@." Dsmsim.Comm.pp sched,
+          Dsmsim.Comm.total_words sched,
+          Dsmsim.Comm.message_count sched,
+          List.rev !errs ))
+  in
+  let ps, ws, ms, es = schedule Lattice.Auto in
+  let pe, we, me, ee = schedule Lattice.Enumerated_only in
+  if ws <> we then
+    Fail (Printf.sprintf "total_words %d (symbolic) vs %d (enumerated)" ws we)
+  else if ms <> me then
+    Fail (Printf.sprintf "message_count %d (symbolic) vs %d (enumerated)" ms me)
+  else if es <> ee then Fail "schedule generation errors diverge between modes"
+  else
+    match first_diff ps pe with
+    | Some (l, a, b) ->
+        Fail (Printf.sprintf "schedules diverge at line %d: %S vs %S" l a b)
+    | None -> Pass
+
+let cold_warm prog =
+  (* Both runs re-parse the same source so every expression is rebuilt
+     against the current intern table; only the artifact store's
+     temperature differs. *)
+  let src = Frontend.Unparse.to_string prog in
+  let parse () =
+    match Core.Pipeline.parse_program ~where:"<fuzz>" src with
+    | Some p -> p
+    | None -> failwith "cold-warm: source does not parse"
+  in
+  Artifact.clear_all ();
+  let cold, _ = with_mode Lattice.Auto (fun () -> render (parse ())) in
+  let warm, _ = with_mode Lattice.Auto (fun () -> render (parse ())) in
+  match first_diff cold warm with
+  | Some (l, a, b) ->
+      Fail
+        (Printf.sprintf "cold and warm reports diverge at line %d: %S vs %S" l a b)
+  | None -> Pass
+
+(* ------------------------------------------------------------------ *)
+
+let guarded f prog = try f prog with e -> Fail ("exception: " ^ Printexc.to_string e)
+
+let checks =
+  [
+    { name = "roundtrip";
+      doc = "unparse -> parse -> unparse is a fixed point";
+      run = guarded roundtrip;
+    };
+    { name = "enum-parity";
+      doc = "report_core identical under symbolic and enumerated accounting";
+      run = guarded enum_parity;
+    };
+    { name = "race-oracle";
+      doc = "static race certifier agrees with the dynamic sampling oracle";
+      run = guarded race_oracle;
+    };
+    { name = "ilp-chain";
+      doc = "chain enumerator and branch-and-bound agree on the Table-2 rows";
+      run = guarded ilp_chain;
+    };
+    { name = "comm-parity";
+      doc = "communication schedule identical under both accounting modes";
+      run = guarded comm_parity;
+    };
+    { name = "cold-warm";
+      doc = "warm artifact store reproduces the cold report";
+      run = guarded cold_warm;
+    };
+  ]
+
+let find name = List.find (fun c -> String.equal c.name name) checks
+
+let battery prog = List.map (fun c -> (c.name, c.run prog)) checks
+
+let first_failure prog =
+  List.fold_left
+    (fun acc c ->
+      match acc with
+      | Some _ -> acc
+      | None -> ( match c.run prog with Fail d -> Some (c.name, d) | _ -> None))
+    None checks

@@ -1,0 +1,52 @@
+(** The differential-check battery one fuzzed program runs through.
+
+    Each check compares two independent computations of the same answer
+    and fails only on disagreement - a failing check is a bug in one of
+    the two paths, never a property of the generated program:
+
+    - [roundtrip]: unparse -> parse -> unparse is a fixed point;
+    - [enum-parity]: {!Core.Pipeline.report_core} is byte-identical
+      under the closed-form symbolic accounting and the enumeration
+      oracle ([Lattice.Enumerated_only]), and the diagnostics agree
+      modulo the mode-dependent [LINT-SYMBOLIC-FALLBACK] note;
+    - [race-oracle]: the static race certifier never contradicts the
+      dynamic sampling oracle ({!Core.Lint.autopar}'s
+      [RACE-ORACLE-MISMATCH]);
+    - [ilp-chain]: the exact chain enumerator's point satisfies the
+      model's locality and bound rows, and the branch-and-bound solver
+      over the same {!Ilp.Model.to_lp} rows agrees on feasibility (and
+      bounds the chain point's objective when the chain point happens
+      to satisfy every LP row, storage included);
+    - [comm-parity]: the communication schedule generated from a fixed
+      (LCG, plan) pair is identical under both accounting modes;
+    - [cold-warm]: re-analyzing the same source with a warm artifact
+      store reproduces the cold run's report byte for byte.
+
+    All checks run at [h = 4] processors under the program's midpoint
+    parameter environment ({!Gen.midpoint_env}), leave
+    [Lattice.mode] as they found it, and convert any escaped exception
+    into a [Fail] - the battery itself never raises. *)
+
+type verdict = Pass | Skip of string | Fail of string
+
+type check = {
+  name : string;
+  doc : string;
+  run : Ir.Types.program -> verdict;
+}
+
+val checks : check list
+(** The battery, in execution order.  Names are stable identifiers
+    ([roundtrip], [enum-parity], [race-oracle], [ilp-chain],
+    [comm-parity], [cold-warm]). *)
+
+val find : string -> check
+(** @raise Not_found for an unknown name - used to rebuild a shrink
+    predicate from a finding's check name. *)
+
+val battery : Ir.Types.program -> (string * verdict) list
+(** Every check's verdict, in order. *)
+
+val first_failure : Ir.Types.program -> (string * string) option
+(** [(check name, detail)] of the first failing check, if any - the
+    campaign's finding predicate and the shrinker's keep function. *)

@@ -1,0 +1,409 @@
+open Symbolic
+open Ir
+
+type profile = {
+  min_phases : int;
+  max_phases : int;
+  max_depth : int;
+  pow2_bias : int;
+  triangular_bias : int;
+  two_d_bias : int;
+  reduction_bias : int;
+  repeat_bias : int;
+}
+
+let default =
+  {
+    min_phases = 1;
+    max_phases = 5;
+    max_depth = 3;
+    pow2_bias = 40;
+    triangular_bias = 35;
+    two_d_bias = 35;
+    reduction_bias = 25;
+    repeat_bias = 15;
+  }
+
+let deep =
+  {
+    default with
+    min_phases = 50;
+    max_phases = 100;
+    max_depth = 2;
+    two_d_bias = 20;
+    reduction_bias = 10;
+    repeat_bias = 5;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let ri st lo hi = lo + Random.State.int st (hi - lo + 1)
+let chance st pct = Random.State.int st 100 < pct
+let pick st l = List.nth l (Random.State.int st (List.length l))
+
+(* The largest value a parameter can take under its declared domain:
+   [n = 4..8] and [Q = 2^q, q = 1..3] both top out at 8.  Subscript
+   maxima (and hence array extents) are computed against these. *)
+let param_max = 8
+
+type ctx = {
+  st : Random.State.t;
+  has_pow2 : bool;
+  arrays1d : string list;
+  two_d : bool;
+  reduction : bool;
+  maxes : (string, int array) Hashtbl.t;
+  mutable written : string list;  (** most recently written first *)
+}
+
+let note_ref ctx name maxima =
+  let dims =
+    match Hashtbl.find_opt ctx.maxes name with
+    | Some a -> a
+    | None ->
+        let a = Array.make (List.length maxima) 0 in
+        Hashtbl.replace ctx.maxes name a;
+        a
+  in
+  List.iteri (fun d m -> dims.(d) <- max dims.(d) m) maxima
+
+(* One loop level: the bound expression plus the largest value its
+   variable can take (used for injective write subscripts and for
+   extent derivation). *)
+type lvl = { v : string; lo : Expr.t; hi : Expr.t; vmax : int; par : bool; step : Expr.t }
+
+let var_names = [| "i"; "j"; "k" |]
+
+let gen_levels ctx prof ~allow_par =
+  let depth = ri ctx.st 1 prof.max_depth in
+  let par_level =
+    if not allow_par then -1
+    else if depth = 1 || chance ctx.st 70 then 0
+    else ri ctx.st 1 (depth - 1)
+  in
+  let rec go level outer =
+    if level >= depth then []
+    else
+      let v = var_names.(level) in
+      let triangular =
+        level > 0 && chance ctx.st prof.triangular_bias
+      in
+      let lo, lo_min =
+        if triangular || chance ctx.st 85 then (Expr.zero, 0) else (Expr.one, 1)
+      in
+      ignore lo_min;
+      let hi, vmax =
+        if triangular then
+          let ov = pick ctx.st outer in
+          let c = ri ctx.st 0 2 in
+          (Expr.add (Expr.var ov.v) (Expr.int c), ov.vmax + c)
+        else
+          match ri ctx.st 0 (if ctx.has_pow2 then 3 else 2) with
+          | 0 | 1 ->
+              let c = ri ctx.st 2 8 in
+              (Expr.int c, c)
+          | 2 -> (Expr.sub (Expr.var "n") Expr.one, param_max - 1)
+          | _ -> (Expr.sub (Expr.var "Q") Expr.one, param_max - 1)
+      in
+      let step =
+        match ri ctx.st 0 9 with
+        | 0 | 1 -> Expr.int 2
+        | 2 -> Expr.int 4
+        | 3 when ctx.has_pow2 && not triangular -> Expr.var "Q"
+        | _ -> Expr.one
+      in
+      let l = { v; lo; hi; vmax; par = level = par_level; step } in
+      l :: go (level + 1) (l :: outer)
+  in
+  go 0 []
+
+let build_nest levels body =
+  List.fold_right
+    (fun l inner ->
+      [
+        Types.Loop
+          {
+            var = l.v;
+            lo = l.lo;
+            hi = l.hi;
+            step = l.step;
+            parallel = l.par;
+            body = inner;
+          };
+      ])
+    levels body
+  |> function
+  | [ nest ] -> nest
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Subscripts.
+
+   Writes are race-free by construction: the parallel variable carries
+   a coefficient strictly larger than the seq-window span (mixed-radix
+   over the sequential variables plus offset head-room), so distinct
+   parallel iterations touch disjoint address windows.  Reads are
+   unconstrained affine maps - reads cannot race. *)
+
+type mexpr = { e : Expr.t; mx : int }
+
+let mint n = { e = Expr.int n; mx = n }
+
+let madd a b = { e = Expr.add a.e b.e; mx = a.mx + b.mx }
+
+let mscale_const c (l : lvl) = { e = Expr.mul (Expr.int c) (Expr.var l.v); mx = c * l.vmax }
+
+(* Mixed-radix coefficients over the sequential levels, innermost
+   fastest; returns the terms and the (exclusive) window size. *)
+let seq_window ctx seqs =
+  let base = if chance ctx.st 60 then 1 else 2 in
+  let rec go = function
+    | [] -> ([], base)
+    | l :: outer ->
+        let terms, c = go outer in
+        let keep = not (chance ctx.st 15) in
+        let terms = if keep then mscale_const c l :: terms else terms in
+        (terms, c * (l.vmax + 1))
+  in
+  (* [seqs] arrives outermost-first; recurse so the innermost gets the
+     base coefficient. *)
+  let terms, window = go (List.rev seqs) in
+  (terms, window)
+
+let write_subscript ctx levels =
+  let pv = List.find_opt (fun l -> l.par) levels in
+  let seqs = List.filter (fun l -> not l.par) levels in
+  let terms, window = seq_window ctx seqs in
+  let off = ri ctx.st 0 3 in
+  let padded = window + 4 in
+  let par_term =
+    match pv with
+    | None -> mint 0
+    | Some l -> (
+        match ri ctx.st 0 (if ctx.has_pow2 then 3 else 2) with
+        | 0 -> mscale_const padded l
+        | 1 -> mscale_const (padded * 2) l
+        | 2 -> mscale_const (padded * 4) l
+        | _ ->
+            {
+              e = Expr.mul (Expr.int padded) (Expr.mul (Expr.var "Q") (Expr.var l.v));
+              mx = padded * param_max * l.vmax;
+            })
+  in
+  let body = List.fold_left madd (mint off) terms in
+  (madd par_term body, par_term, terms, window)
+
+let read_subscript ctx levels =
+  let off = ri ctx.st 0 6 in
+  List.fold_left
+    (fun acc l ->
+      let t =
+        match ri ctx.st 0 (if ctx.has_pow2 then 5 else 4) with
+        | 0 -> mint 0
+        | 1 | 2 -> mscale_const (ri ctx.st 1 3) l
+        | 3 -> mscale_const (pick ctx.st [ 2; 4; 8 ]) l
+        | 4 when ctx.has_pow2 ->
+            { e = Expr.mul (Expr.var "Q") (Expr.var l.v); mx = param_max * l.vmax }
+        | _ -> mscale_const 1 l
+      in
+      madd acc t)
+    (mint off) levels
+
+let mk_ref ctx name access (subs : mexpr list) =
+  note_ref ctx name (List.map (fun m -> m.mx) subs);
+  { Types.array = name; index = List.map (fun m -> m.e) subs; access }
+
+(* A read target for the current statement.  [avoid] holds the arrays
+   the current phase writes: reading one of those from another parallel
+   iteration would be a loop-carried dependence, making the doall racy,
+   so they are excluded here (the only same-array reads allowed are the
+   window-confined ones [stencil_stmt] builds explicitly). *)
+let read_target ctx ~avoid =
+  match List.filter (fun a -> not (List.mem a avoid)) ctx.arrays1d with
+  | [] -> None
+  | allowed -> (
+      match List.filter (fun a -> List.mem a allowed) ctx.written with
+      | a :: _ when chance ctx.st 60 -> Some a
+      | _ -> Some (pick ctx.st allowed))
+
+(* ------------------------------------------------------------------ *)
+(* Phase bodies.  [phase_written] holds ALL the arrays the current
+   phase writes - committed up front by [gen_phase], before any
+   statement body is generated - so that no statement reads an array
+   some other statement of the same phase writes (a loop-carried
+   dependence that would make the doall racy), and no two statements
+   write the same array (two distinct injective maps onto one array
+   can still collide across parallel iterations).  The only same-array
+   reads allowed are the window-confined ones each statement builds
+   against its own write. *)
+
+let stencil_stmt ctx levels ~target ~phase_written =
+  let wsub, par_term, terms, _ = write_subscript ctx levels in
+  let lhs = mk_ref ctx target Types.Write [ wsub ] in
+  let same_array_read () =
+    (* stay inside the parallel window: vary only the offset *)
+    let off2 = ri ctx.st 0 3 in
+    let sub = madd par_term (List.fold_left madd (mint off2) terms) in
+    mk_ref ctx target Types.Read [ sub ]
+  in
+  let other_read () =
+    match read_target ctx ~avoid:phase_written with
+    | Some a -> mk_ref ctx a Types.Read [ read_subscript ctx levels ]
+    | None -> same_array_read ()
+  in
+  let reads =
+    List.init (ri ctx.st 1 3) (fun _ ->
+        if chance ctx.st 30 then same_array_read () else other_read ())
+  in
+  let work = if chance ctx.st 30 then ri ctx.st 2 8 else 1 in
+  ctx.written <- target :: ctx.written;
+  Types.Assign { refs = reads @ [ lhs ]; work }
+
+let transpose_stmt ctx levels ~phase_written =
+  (* depth-2 nests only; writes T(fi, fj), reads the transposed mix *)
+  match levels with
+  | [ l0; l1 ] ->
+      let pl, ol = if l0.par then (l0, l1) else (l1, l0) in
+      let fi = madd (mscale_const (ri ctx.st 1 2) pl) (mint (ri ctx.st 0 2)) in
+      let fj = madd (mscale_const (ri ctx.st 0 2) ol) (mint (ri ctx.st 0 2)) in
+      let wdims = if l0.par then [ fi; fj ] else [ fj; fi ] in
+      let lhs = mk_ref ctx "T" Types.Write wdims in
+      let reads =
+        match
+          if chance ctx.st 70 then None else read_target ctx ~avoid:phase_written
+        with
+        | Some a -> [ mk_ref ctx a Types.Read [ read_subscript ctx levels ] ]
+        | None ->
+            (* the transposed read: U(fj, fi) against the T(fi, fj)
+               write.  U is read-only across the whole program, so the
+               transposed access mix cannot race the doall. *)
+            [ mk_ref ctx "U" Types.Read (List.rev wdims) ]
+      in
+      ctx.written <- "T" :: ctx.written;
+      Types.Assign { refs = reads @ [ lhs ]; work = 1 }
+  | _ -> stencil_stmt ctx levels ~target:(pick ctx.st ctx.arrays1d) ~phase_written
+
+let reduction_stmt ctx levels =
+  let r = mint (ri ctx.st 0 3) in
+  let acc_read = mk_ref ctx "S" Types.Read [ r ] in
+  let data =
+    match read_target ctx ~avoid:[ "S" ] with
+    | Some a -> mk_ref ctx a Types.Read [ read_subscript ctx levels ]
+    | None -> mk_ref ctx "S" Types.Read [ r ]
+  in
+  let lhs = mk_ref ctx "S" Types.Write [ r ] in
+  ctx.written <- "S" :: ctx.written;
+  Types.Assign { refs = [ acc_read; data; lhs ]; work = 1 }
+
+(* Pick [n] distinct elements of [l], in random order. *)
+let pick_distinct st n l =
+  let rec go n avail acc =
+    if n = 0 || avail = [] then List.rev acc
+    else
+      let a = pick st avail in
+      go (n - 1) (List.filter (fun x -> x <> a) avail) (a :: acc)
+  in
+  go n l []
+
+let gen_phase ctx prof idx =
+  let kind =
+    if ctx.reduction && chance ctx.st 20 then `Reduction
+    else if ctx.two_d && prof.max_depth >= 2 && chance ctx.st 40 then `Two_d
+    else `Stencil
+  in
+  let levels =
+    match kind with
+    | `Reduction -> gen_levels ctx { prof with max_depth = min prof.max_depth 2 } ~allow_par:false
+    | `Two_d ->
+        (* exactly two levels so (i, j) indexes both dimensions *)
+        let rec retry n =
+          let ls = gen_levels ctx { prof with max_depth = 2 } ~allow_par:true in
+          if List.length ls = 2 || n = 0 then ls else retry (n - 1)
+        in
+        retry 5
+    | `Stencil -> gen_levels ctx prof ~allow_par:true
+  in
+  (* Commit the full write set of the phase before generating any
+     statement body: reads steer around it (see [read_target]). *)
+  let body =
+    match kind with
+    | `Reduction -> [ reduction_stmt ctx levels ]
+    | `Two_d when List.length levels = 2 ->
+        [ transpose_stmt ctx levels ~phase_written:[ "T" ] ]
+    | _ ->
+        let nstmts =
+          if prof.max_phases > 10 then 1
+          else min (ri ctx.st 1 2) (List.length ctx.arrays1d)
+        in
+        let targets = pick_distinct ctx.st nstmts ctx.arrays1d in
+        List.map
+          (fun target -> stencil_stmt ctx levels ~target ~phase_written:targets)
+          targets
+  in
+  match build_nest levels body with
+  | Types.Loop nest -> { Types.phase_name = Printf.sprintf "P%d" idx; nest }
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+
+let round_extent st v =
+  let need = v + 1 in
+  if chance st 30 then
+    let rec p2 n = if n >= need then n else p2 (n * 2) in
+    p2 8
+  else ((need + 7) / 8) * 8
+
+let program prof ~seed ~index =
+  let st = Random.State.make [| 0x5eed; seed; index |] in
+  let has_pow2 = chance st prof.pow2_bias in
+  let arrays1d =
+    "A" :: (if chance st 60 then [ "B" ] else []) @ (if chance st 30 then [ "C" ] else [])
+  in
+  let two_d = chance st prof.two_d_bias in
+  let reduction = chance st prof.reduction_bias in
+  let ctx =
+    {
+      st;
+      has_pow2;
+      arrays1d;
+      two_d;
+      reduction;
+      maxes = Hashtbl.create 8;
+      written = [];
+    }
+  in
+  let nphases = ri st prof.min_phases prof.max_phases in
+  let phases = List.init nphases (gen_phase ctx prof) in
+  let params =
+    (("n", Assume.Int_range (4, 8)) :: (if has_pow2 then [ ("q", Assume.Int_range (1, 3)); ("Q", Assume.Pow2_of "q") ] else []))
+  in
+  let decl name rank =
+    let dims =
+      match Hashtbl.find_opt ctx.maxes name with
+      | Some a -> Array.to_list (Array.map (fun v -> Expr.int (round_extent st v)) a)
+      | None -> List.init rank (fun _ -> Expr.int 8)
+    in
+    { Types.name; dims }
+  in
+  let arrays =
+    List.map (fun a -> decl a 1) arrays1d
+    @ (if two_d then [ decl "T" 2; decl "U" 2 ] else [])
+    @ if reduction then [ decl "S" 1 ] else []
+  in
+  {
+    Types.prog_name = Printf.sprintf "fz_s%d_%d" seed index;
+    params = Assume.of_list params;
+    arrays;
+    phases;
+    repeats = chance st prof.repeat_bias;
+  }
+
+let midpoint_env (prog : Types.program) =
+  List.fold_left
+    (fun env (vn, d) ->
+      match d with
+      | Assume.Int_range (lo, hi) -> Env.add vn ((lo + hi) / 2) env
+      | Assume.Pow2_of w -> Env.add vn (1 lsl Env.find env w) env
+      | Assume.Expr_range _ -> env)
+    Env.empty
+    (Assume.to_list prog.params)

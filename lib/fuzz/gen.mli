@@ -1,0 +1,52 @@
+(** Seeded, size-parameterized generator of well-formed multi-phase
+    programs, biased toward the paper's hard cases.
+
+    Every generated program is in the analyzable surface class - it
+    parses back from its own unparsing, every parameter has a bounded
+    domain, and all subscripts are affine in the loop variables with
+    non-negative values inside the declared extents (extents are
+    derived {e after} generation from the maximal subscript values, so
+    LINT-BOUNDS never fires by construction).  Parallel loops are
+    race-free by construction: the parallel index always carries the
+    dominant mixed-radix coefficient of every write subscript, so
+    distinct parallel iterations write disjoint windows.
+
+    The hard-case biases, all tunable through {!profile}:
+    - non-unit and power-of-two strides (constant [2]/[4]/[8] and the
+      symbolic [Q = 2^q] parameter as subscript coefficients and loop
+      steps);
+    - triangular / non-constant bounds (inner [hi] mentioning an outer
+      loop variable);
+    - reshaped and transposed access mixes (2-D arrays read as [T(j,i)]
+      against writes of [T(i,j)], and cross-array reads with unrelated
+      affine maps);
+    - sequential reductions into a small accumulator array;
+    - deep 50-100-phase pipelines ({!deep}). *)
+
+type profile = {
+  min_phases : int;
+  max_phases : int;
+  max_depth : int;  (** loop-nest depth, 1..3 *)
+  pow2_bias : int;  (** percent chance the program declares [Q = 2^q] *)
+  triangular_bias : int;  (** percent chance an inner bound is triangular *)
+  two_d_bias : int;  (** percent chance a 2-D array (and phases) exist *)
+  reduction_bias : int;  (** percent chance of an accumulator array *)
+  repeat_bias : int;  (** percent chance of a [repeat] timestep loop *)
+}
+
+val default : profile
+(** 1-5 phases, depth up to 3: the mass-campaign workhorse. *)
+
+val deep : profile
+(** 50-100 phases at depth up to 2 with single-statement bodies: the
+    ILP / chain solver scale-up shape (ROADMAP item 5). *)
+
+val program : profile -> seed:int -> index:int -> Ir.Types.program
+(** The [index]-th program of campaign [seed]: deterministic in
+    [(profile, seed, index)] and independent of any ambient random
+    state. *)
+
+val midpoint_env : Ir.Types.program -> Symbolic.Env.t
+(** Midpoint bindings for each declared parameter, [Pow2_of] resolved
+    through its base - the same default environment the [dsmloc file]
+    command uses. *)

@@ -1,0 +1,336 @@
+open Symbolic
+open Ir
+
+(* The termination measure doubles as the minimality objective: the
+   printed surface form.  Every candidate the greedy loop accepts must
+   strictly shrink it, so [run] terminates unconditionally and the
+   fixpoint is as small as this candidate set can make it. *)
+let size p = String.length (Frontend.Unparse.to_string p)
+
+(* Capture-avoiding substitution of a loop variable: a shadowing inner
+   loop keeps its own body untouched (its bounds are still evaluated in
+   the outer scope). *)
+let rec subst_stmt v value = function
+  | Types.Assign a ->
+      Types.Assign
+        {
+          a with
+          refs =
+            List.map
+              (fun (r : Types.array_ref) ->
+                { r with index = List.map (Expr.subst v value) r.index })
+              a.refs;
+        }
+  | Types.Loop l ->
+      let lo = Expr.subst v value l.lo
+      and hi = Expr.subst v value l.hi
+      and step = Expr.subst v value l.step in
+      if l.var = v then Types.Loop { l with lo; hi; step }
+      else
+        Types.Loop
+          { l with lo; hi; step; body = List.map (subst_stmt v value) l.body }
+
+let set_nth l i x = List.mapi (fun j y -> if j = i then x else y) l
+let indexed l = Seq.mapi (fun i x -> (i, x)) (List.to_seq l)
+
+(* ------------------------------------------------------------------ *)
+(* Candidate rewrites, shallowest (most aggressive) first.  All lazy:
+   the greedy loop stops at the first accepted candidate. *)
+
+(* Shrunk variants of one subscript expression: zero out a variable's
+   contribution, drop the constant offset, or reset a variable's
+   coefficient to one.  All purely generic - [Expr] is abstract, but
+   substitution and the linear view are enough. *)
+let expr_shrinks (e : Expr.t) : Expr.t Seq.t =
+  let vs = Expr.vars e in
+  let zero_var = Seq.map (fun v -> Expr.subst v Expr.zero e) (List.to_seq vs) in
+  let drop_const =
+    let c = Expr.const_part e in
+    if Qnum.is_zero c then Seq.empty else Seq.return (Expr.sub e (Expr.q c))
+  in
+  let unit_coeff =
+    List.to_seq vs
+    |> Seq.filter_map (fun v ->
+           match Expr.linear_in v e with
+           | Some (a, b) when Expr.to_int a <> Some 1 ->
+               Some (Expr.add (Expr.var v) b)
+           | _ -> None)
+  in
+  Seq.filter
+    (fun e' -> not (Expr.equal e' e))
+    (Seq.append zero_var (Seq.append drop_const unit_coeff))
+
+let assign_rewrites (a : Types.assign) : Types.assign Seq.t =
+  let drops =
+    indexed a.refs
+    |> Seq.filter_map (fun (i, (r : Types.array_ref)) ->
+           if r.access <> Types.Read || List.length a.refs <= 1 then None
+           else Some { a with refs = List.filteri (fun j _ -> j <> i) a.refs })
+  in
+  let work = if a.work > 1 then Seq.return { a with work = 1 } else Seq.empty in
+  let subscripts =
+    indexed a.refs
+    |> Seq.concat_map (fun (i, (r : Types.array_ref)) ->
+           indexed r.index
+           |> Seq.concat_map (fun (d, e) ->
+                  expr_shrinks e
+                  |> Seq.map (fun e' ->
+                         { a with
+                           refs = set_nth a.refs i { r with index = set_nth r.index d e' };
+                         })))
+  in
+  Seq.append drops (Seq.append work subscripts)
+
+let rec stmt_rewrites = function
+  | Types.Assign a -> Seq.map (fun a -> Types.Assign a) (assign_rewrites a)
+  | Types.Loop l -> Seq.map (fun l -> Types.Loop l) (loop_rewrites l)
+
+(* Rewrites of a statement list: drop one statement (never all), splice
+   an inner loop away (body substituted at the loop's lower bound), or
+   rewrite one statement in place. *)
+and body_rewrites (body : Types.stmt list) : Types.stmt list Seq.t =
+  let n = List.length body in
+  let drops =
+    if n <= 1 then Seq.empty
+    else Seq.init n (fun i -> List.filteri (fun j _ -> j <> i) body)
+  in
+  let splices =
+    indexed body
+    |> Seq.filter_map (fun (i, s) ->
+           match s with
+           | Types.Loop l when l.body <> [] ->
+               let sub = List.map (subst_stmt l.var l.lo) l.body in
+               Some
+                 (List.concat
+                    (List.mapi (fun j x -> if j = i then sub else [ x ]) body))
+           | _ -> None)
+  in
+  let rewrites =
+    indexed body
+    |> Seq.concat_map (fun (i, s) ->
+           Seq.map (fun s' -> set_nth body i s') (stmt_rewrites s))
+  in
+  Seq.append drops (Seq.append splices rewrites)
+
+and loop_rewrites (l : Types.loop) : Types.loop Seq.t =
+  let hi_shrinks =
+    List.to_seq [ 1; 2 ]
+    |> Seq.filter_map (fun k ->
+           match Expr.to_int l.hi with
+           | Some c when c <= k -> None
+           | _ -> Some { l with hi = Expr.int k })
+  in
+  let step_one =
+    if Expr.to_int l.step = Some 1 then Seq.empty
+    else Seq.return { l with step = Expr.one }
+  in
+  let sequential =
+    if l.parallel then Seq.return { l with parallel = false } else Seq.empty
+  in
+  let deeper = Seq.map (fun b -> { l with body = b }) (body_rewrites l.body) in
+  Seq.append hi_shrinks (Seq.append step_one (Seq.append sequential deeper))
+
+let phase_rewrites (ph : Types.phase) : Types.phase Seq.t =
+  (* Promote a singleton inner loop to the top of the nest (a phase's
+     nest must remain a loop, so the outermost level is removed by
+     promotion rather than splicing). *)
+  let promote =
+    match ph.nest.body with
+    | [ Types.Loop inner ] when inner.var <> ph.nest.var -> (
+        match subst_stmt ph.nest.var ph.nest.lo (Types.Loop inner) with
+        | Types.Loop li -> Seq.return { ph with nest = li }
+        | _ -> Seq.empty)
+    | _ -> Seq.empty
+  in
+  Seq.append promote
+    (Seq.map (fun l -> { ph with nest = l }) (loop_rewrites ph.nest))
+
+(* Garbage-collect declarations the phases no longer reference:
+   unreferenced arrays, then parameters no retained expression (or
+   retained parameter domain) depends on. *)
+let gc_candidate (p : Types.program) : Types.program Seq.t =
+  let used = List.concat_map Types.phase_arrays p.phases in
+  let arrays =
+    List.filter (fun (d : Types.array_decl) -> List.mem d.name used) p.arrays
+  in
+  let rec stmt_vars = function
+    | Types.Assign a ->
+        List.concat_map
+          (fun (r : Types.array_ref) -> List.concat_map Expr.vars r.index)
+          a.refs
+    | Types.Loop l ->
+        Expr.vars l.lo @ Expr.vars l.hi @ Expr.vars l.step
+        @ List.concat_map stmt_vars l.body
+  in
+  let roots =
+    List.concat_map (fun (ph : Types.phase) -> stmt_vars (Types.Loop ph.nest)) p.phases
+    @ List.concat_map (fun (d : Types.array_decl) -> List.concat_map Expr.vars d.dims) arrays
+  in
+  let domain_deps = function
+    | Assume.Int_range _ -> []
+    | Assume.Pow2_of b -> [ b ]
+    | Assume.Expr_range (a, b) -> Expr.vars a @ Expr.vars b
+  in
+  let decls = Assume.to_list p.params in
+  let rec close live =
+    let more =
+      List.filter_map
+        (fun (n, d) ->
+          if List.mem n live then
+            match List.filter (fun v -> not (List.mem v live)) (domain_deps d) with
+            | [] -> None
+            | vs -> Some vs
+          else None)
+        decls
+      |> List.concat
+    in
+    if more = [] then live else close (more @ live)
+  in
+  let live = close roots in
+  let params = List.filter (fun (n, _) -> List.mem n live) decls in
+  if
+    List.length arrays = List.length p.arrays
+    && List.length params = List.length decls
+  then Seq.empty
+  else Seq.return { p with arrays; params = Assume.of_list params }
+
+(* Eliminate a parameter outright: substitute 1 for it everywhere (loop
+   bounds, subscripts, array extents) and drop its declaration.  Only
+   offered for parameters no other declared domain depends on; anything
+   it transitively freed (e.g. the base of a [pow2]) is collected by
+   {!gc_candidate} on a later iteration. *)
+let param_drops (p : Types.program) : Types.program Seq.t =
+  let decls = Assume.to_list p.params in
+  let domain_deps = function
+    | Assume.Int_range _ -> []
+    | Assume.Pow2_of b -> [ b ]
+    | Assume.Expr_range (a, b) -> Expr.vars a @ Expr.vars b
+  in
+  List.to_seq decls
+  |> Seq.filter_map (fun (v, _) ->
+         if
+           List.exists
+             (fun (n, d) -> n <> v && List.mem v (domain_deps d))
+             decls
+         then None
+         else
+           let subst_phase (ph : Types.phase) =
+             match subst_stmt v Expr.one (Types.Loop ph.nest) with
+             | Types.Loop l -> { ph with nest = l }
+             | _ -> ph
+           in
+           Some
+             {
+               p with
+               params =
+                 Assume.of_list (List.filter (fun (n, _) -> n <> v) decls);
+               arrays =
+                 List.map
+                   (fun (d : Types.array_decl) ->
+                     { d with dims = List.map (Expr.subst v Expr.one) d.dims })
+                   p.arrays;
+               phases = List.map subst_phase p.phases;
+             })
+
+(* Merge array [x] into a same-rank array [y] with elementwise-max
+   (concrete) extents: one declaration line fewer, and often the last
+   step to a single-array reproducer. *)
+let array_merges (p : Types.program) : Types.program Seq.t =
+  let rec rename_stmt x y = function
+    | Types.Assign a ->
+        Types.Assign
+          {
+            a with
+            refs =
+              List.map
+                (fun (r : Types.array_ref) ->
+                  if String.equal r.array x then { r with array = y } else r)
+                a.refs;
+          }
+    | Types.Loop l ->
+        Types.Loop { l with body = List.map (rename_stmt x y) l.body }
+  in
+  List.to_seq p.arrays
+  |> Seq.concat_map (fun (dx : Types.array_decl) ->
+         List.to_seq p.arrays
+         |> Seq.filter_map (fun (dy : Types.array_decl) ->
+                if String.equal dx.name dy.name then None
+                else if List.length dx.dims <> List.length dy.dims then None
+                else
+                  let merged =
+                    List.map2
+                      (fun a b ->
+                        match (Expr.to_int a, Expr.to_int b) with
+                        | Some ia, Some ib -> Some (Expr.int (max ia ib))
+                        | _ -> None)
+                      dx.dims dy.dims
+                  in
+                  if List.exists Option.is_none merged then None
+                  else
+                    Some
+                      {
+                        p with
+                        arrays =
+                          List.filter_map
+                            (fun (d : Types.array_decl) ->
+                              if String.equal d.name dx.name then None
+                              else if String.equal d.name dy.name then
+                                Some
+                                  { d with dims = List.map Option.get merged }
+                              else Some d)
+                            p.arrays;
+                        phases =
+                          List.map
+                            (fun (ph : Types.phase) ->
+                              match
+                                rename_stmt dx.name dy.name (Types.Loop ph.nest)
+                              with
+                              | Types.Loop l -> { ph with nest = l }
+                              | _ -> ph)
+                            p.phases;
+                      }))
+
+let candidates (p : Types.program) : Types.program Seq.t =
+  let phases = p.Types.phases in
+  let n = List.length phases in
+  (* Delta-debugging-style chunked phase drops, largest chunks first,
+     so 100-phase pipelines collapse in O(log n) accepted steps instead
+     of O(n) single drops. *)
+  let chunk_drops =
+    let rec chunk_sizes s acc = if s >= 1 then chunk_sizes (s / 2) (s :: acc) else acc in
+    let sizes = if n <= 1 then [] else List.rev (chunk_sizes (n / 2) []) in
+    List.to_seq sizes
+    |> Seq.concat_map (fun sz ->
+           Seq.init ((n + sz - 1) / sz) (fun ci ->
+               List.filteri
+                 (fun i _ -> i < ci * sz || i >= (ci + 1) * sz)
+                 phases)
+           |> Seq.filter (fun kept -> kept <> [])
+           |> Seq.map (fun kept -> { p with phases = kept }))
+  in
+  let no_repeat =
+    if p.repeats then Seq.return { p with repeats = false } else Seq.empty
+  in
+  let phase_edits =
+    indexed phases
+    |> Seq.concat_map (fun (i, ph) ->
+           Seq.map
+             (fun ph' -> { p with phases = set_nth phases i ph' })
+             (phase_rewrites ph))
+  in
+  Seq.append chunk_drops
+    (Seq.append no_repeat
+       (Seq.append (array_merges p)
+          (Seq.append (param_drops p)
+             (Seq.append phase_edits (gc_candidate p)))))
+
+let run ~keep p0 =
+  if not (keep p0) then p0
+  else
+    let rec go p =
+      let sz = size p in
+      match Seq.find keep (Seq.filter (fun c -> size c < sz) (candidates p)) with
+      | Some c -> go c
+      | None -> p
+    in
+    go p0

@@ -1,0 +1,30 @@
+(** Greedy structural minimizer for failing programs.
+
+    [run ~keep p] repeatedly applies size-reducing candidate
+    transformations - dropping phases (delta-debugging style halving
+    chunks first), dropping statements and read references, collapsing
+    inner loop levels (substituting the loop variable with its lower
+    bound), shrinking loop upper bounds, resetting strides and work
+    annotations to one, dropping the timestep loop, and garbage
+    collecting unreferenced arrays and parameters - accepting a
+    candidate only when the failure predicate [keep] still holds on it
+    AND it is strictly smaller under {!size}, until no candidate is
+    accepted.
+
+    Properties the test-suite pins down:
+    - every intermediate candidate handed to [keep] is a well-formed
+      program (it unparses and parses back);
+    - the result satisfies [keep] whenever the input did;
+    - [run] is idempotent: [run ~keep (run ~keep p) == run ~keep p]
+      structurally, because candidate generation is deterministic and a
+      fixpoint by definition accepts no further candidate;
+    - termination is unconditional: acceptance requires a strict
+      {!size} decrease. *)
+
+val size : Ir.Types.program -> int
+(** Structural size: AST node count including expression nodes. *)
+
+val run :
+  keep:(Ir.Types.program -> bool) -> Ir.Types.program -> Ir.Types.program
+(** Minimize while preserving [keep].  [keep] is expected to hold on
+    the input; if it does not, the input is returned unchanged. *)

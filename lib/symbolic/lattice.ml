@@ -347,7 +347,7 @@ let rec rect_union_volume dim rects =
     in
     segs 0 cuts
 
-let union_card boxes =
+let union_card_exact boxes =
   match boxes with
   | [] -> Some 0
   | [ b ] -> card b
@@ -413,6 +413,13 @@ let union_card boxes =
           end
         end
       with Overflow -> None)
+
+let test_card_skew = ref 0
+
+let union_card boxes =
+  match union_card_exact boxes with
+  | Some n when !test_card_skew <> 0 && n > 0 -> Some (n + !test_card_skew)
+  | r -> r
 
 (* {1 Ownership} *)
 

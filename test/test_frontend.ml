@@ -278,6 +278,105 @@ real G(10)
 call nope(G)
 |} "unknown subroutine"
 
+(* ------------------------------------------------------------------ *)
+(* Hostile inputs: whatever the bytes, the frontend either parses or
+   raises [Parse.Error] - never any other exception - and the total
+   wrapper [Core.Pipeline.parse_program] turns every failure into a
+   positioned FRONTEND-PARSE diagnostic. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let hostile_corpus () =
+  let base = read_file (sample "jacobi.dsm") in
+  let n = String.length base in
+  (* truncations at many offsets *)
+  let truncations =
+    List.init ((n / 7) + 1) (fun i -> String.sub base 0 (min n (i * 7)))
+  in
+  let st = Random.State.make [| 0xbad; 0xf00d |] in
+  (* random garbage, raw and spliced into valid source *)
+  let garbage =
+    List.init 40 (fun _ ->
+        String.init
+          (Random.State.int st 200)
+          (fun _ -> Char.chr (Random.State.int st 256)))
+  in
+  let spliced =
+    List.init 40 (fun _ ->
+        let cut = Random.State.int st (n + 1) in
+        let len = Random.State.int st 8 in
+        String.sub base 0 cut
+        ^ String.init len (fun _ -> Char.chr (Random.State.int st 256))
+        ^ String.sub base cut (n - cut))
+  in
+  let nuls = [ "\000"; "program x\000y\nreal A(4)\n"; base ^ "\000" ] in
+  let huge =
+    [
+      "program x\nreal A(99999999999999999999999)\n";
+      "program x\nparam N = 1..123456789123456789123456789\n";
+    ]
+  in
+  let deep =
+    let parens k = String.make k '(' ^ "i" ^ String.make k ')' in
+    [
+      "program x\nreal A(10)\nphase P:\ndo i = 0, 9\n  A" ^ parens 5000
+      ^ " = 0\nend\n";
+      "program x\nreal A(10)\nphase P:\ndo i = 0, 9\n  A(2"
+      ^ String.concat "" (List.init 5000 (fun _ -> "^2"))
+      ^ ") = 0\nend\n";
+    ]
+  in
+  let unterminated =
+    [
+      "program x\nreal A(4)\nphase P:\ndo i = 0, 3\n  A(i) = 0\n";
+      "program x\nreal A(4)\nphase P:\ndoall i = 0, 3\n";
+      "program x\nsub s(A(4))\nphase P:\ndo i = 0, 3\n  A(i) = 0\nend\n";
+      "program x\nreal A(4)\nphase P:\ndo i = 0, 3\n  A(i";
+      "program";
+      "";
+    ]
+  in
+  truncations @ garbage @ spliced @ nuls @ huge @ deep @ unterminated
+
+let test_hostile_inputs () =
+  let cases = hostile_corpus () in
+  Alcotest.(check bool) "corpus is substantial" true (List.length cases > 80);
+  List.iteri
+    (fun i src ->
+      let tag = Printf.sprintf "hostile[%d]" i in
+      (* Only Parse.Error may escape the raw parser. *)
+      (match Parse.program src with
+      | (_ : Types.program) -> ()
+      | exception Parse.Error _ -> ()
+      | exception e ->
+          Alcotest.fail
+            (Printf.sprintf "%s: unexpected exception %s" tag
+               (Printexc.to_string e)));
+      (* And the total wrapper never raises at all; on failure it
+         returns None with a positioned Frontend-stage diagnostic. *)
+      let diags = Core.Diag.collector () in
+      match Core.Pipeline.parse_program ~diags ~where:tag src with
+      | Some _ -> Alcotest.(check int) (tag ^ " clean") 0 (Core.Diag.count diags)
+      | None -> (
+          match Core.Diag.to_list diags with
+          | [ d ] ->
+              Alcotest.(check string) (tag ^ " code") "FRONTEND-PARSE" d.code;
+              Alcotest.(check bool) (tag ^ " positioned") true
+                (match d.where with
+                | Some w ->
+                    String.length w > String.length tag
+                    && String.sub w 0 (String.length tag) = tag
+                | None -> false)
+          | l ->
+              Alcotest.fail
+                (Printf.sprintf "%s: expected exactly one diagnostic, got %d"
+                   tag (List.length l))))
+    cases
+
 (* Every shipped .dsm sample parses and analyzes. *)
 let test_all_samples_parse () =
   let dir = Filename.dirname (sample "jacobi.dsm") in
@@ -310,6 +409,7 @@ let () =
         [
           Alcotest.test_case "diagnostics" `Quick test_errors;
           Alcotest.test_case "lexer" `Quick test_lexer_tokens;
+          Alcotest.test_case "hostile inputs" `Quick test_hostile_inputs;
         ] );
       ( "roundtrip",
         [

@@ -1,0 +1,185 @@
+(* Tests for the fuzzing subsystem: the generator's well-formedness
+   guarantees, the greedy shrinker's contract (preservation of both
+   well-formedness and the failure predicate, idempotence), and the
+   end-to-end injected-mutation self-test - a deliberately skewed
+   descriptor algebra must be caught by the differential battery and
+   shrunk to a tiny reproducer. *)
+
+open Symbolic
+
+let unparse = Frontend.Unparse.to_string
+
+(* A program is well-formed when its surface text parses back and the
+   full pipeline runs without Error-severity diagnostics. *)
+let well_formed p =
+  match Core.Pipeline.parse_program ~where:"<wf>" (unparse p) with
+  | None -> false
+  | Some p' ->
+      let t = Core.Pipeline.run p' ~env:(Fuzz.Gen.midpoint_env p') ~h:4 in
+      not (Core.Pipeline.degraded t)
+
+let gen_programs ?(profile = Fuzz.Gen.default) ~seed n =
+  List.init n (fun i -> Fuzz.Gen.program profile ~seed ~index:i)
+
+(* ------------------------------------------------------------------ *)
+(* Generator *)
+
+let test_gen_well_formed () =
+  List.iter
+    (fun p -> Alcotest.(check bool) p.Ir.Types.prog_name true (well_formed p))
+    (gen_programs ~seed:7 40)
+
+let test_gen_deterministic () =
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "same source" (unparse a) (unparse b))
+    (gen_programs ~seed:11 10)
+    (gen_programs ~seed:11 10)
+
+let test_gen_deep () =
+  let p = Fuzz.Gen.program Fuzz.Gen.deep ~seed:3 ~index:0 in
+  let n = List.length p.Ir.Types.phases in
+  Alcotest.(check bool) "50..100 phases" true (n >= 50 && n <= 100);
+  Alcotest.(check bool) "well-formed" true (well_formed p)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker *)
+
+(* A structural predicate that real failures resemble: program still
+   contains a parallel phase that writes array "A". *)
+let keep_structural p =
+  well_formed p
+  && List.exists
+       (fun (ph : Ir.Types.phase) ->
+         let rec writes_a (s : Ir.Types.stmt) =
+           match s with
+           | Loop l -> l.parallel && List.exists writes_a l.body
+           | Assign a ->
+               List.exists
+                 (fun (r : Ir.Types.array_ref) ->
+                   r.array = "A" && r.access = Ir.Types.Write)
+                 a.refs
+         in
+         writes_a (Ir.Types.Loop ph.Ir.Types.nest))
+       p.Ir.Types.phases
+
+let test_shrink_preserves () =
+  let hits = ref 0 in
+  List.iter
+    (fun p ->
+      if keep_structural p then begin
+        incr hits;
+        let small = Fuzz.Shrink.run ~keep:keep_structural p in
+        Alcotest.(check bool) "result still satisfies keep" true
+          (keep_structural small);
+        Alcotest.(check bool) "result still well-formed" true
+          (well_formed small);
+        Alcotest.(check bool) "no growth" true
+          (Fuzz.Shrink.size small <= Fuzz.Shrink.size p)
+      end)
+    (gen_programs ~seed:19 30);
+  Alcotest.(check bool) "predicate fired on several programs" true (!hits >= 5)
+
+let test_shrink_idempotent () =
+  List.iter
+    (fun p ->
+      if keep_structural p then begin
+        let once = Fuzz.Shrink.run ~keep:keep_structural p in
+        let twice = Fuzz.Shrink.run ~keep:keep_structural once in
+        Alcotest.(check string) "shrink o shrink = shrink" (unparse once)
+          (unparse twice)
+      end)
+    (gen_programs ~seed:23 20)
+
+let test_shrink_non_failing_identity () =
+  let p = Fuzz.Gen.program Fuzz.Gen.default ~seed:29 ~index:0 in
+  let small = Fuzz.Shrink.run ~keep:(fun _ -> false) p in
+  Alcotest.(check string) "keep-false returns input" (unparse p)
+    (unparse small)
+
+(* ------------------------------------------------------------------ *)
+(* Injected-mutation self-test: skew the symbolic cardinality algebra
+   and prove the battery catches it and shrinks the witness to a
+   reproducer of at most 12 lines that flips back to passing once the
+   mutation is removed. *)
+
+let line_count s =
+  String.split_on_char '\n' (String.trim s) |> List.length
+
+let with_skew k f =
+  let saved = !Lattice.test_card_skew in
+  Fun.protect
+    ~finally:(fun () -> Lattice.test_card_skew := saved)
+    (fun () ->
+      Lattice.test_card_skew := k;
+      f ())
+
+let test_injected_mutation () =
+  let enum_parity = Fuzz.Differ.find "enum-parity" in
+  let fails p =
+    match enum_parity.run p with Fuzz.Differ.Fail _ -> true | _ -> false
+  in
+  with_skew 1 (fun () ->
+      (* the mutation must be caught within a small budget of programs *)
+      let witness =
+        List.find_opt fails (gen_programs ~seed:42 12)
+      in
+      match witness with
+      | None -> Alcotest.fail "skewed algebra not caught within 12 programs"
+      | Some w ->
+          let small = Fuzz.Shrink.run ~keep:fails w in
+          let text = unparse small in
+          Alcotest.(check bool)
+            (Printf.sprintf "reproducer is <= 12 lines (got %d):\n%s"
+               (line_count text) text)
+            true
+            (line_count text <= 12);
+          Alcotest.(check bool) "reproducer still fails under mutation" true
+            (fails small);
+          (* removing the mutation makes the same program pass *)
+          with_skew 0 (fun () ->
+              Alcotest.(check bool) "reproducer passes without mutation" true
+                (match enum_parity.run small with
+                | Fuzz.Differ.Pass -> true
+                | _ -> false)))
+
+(* A clean battery: no differential check fires on unmutated code. *)
+let test_battery_clean () =
+  List.iter
+    (fun p ->
+      List.iter
+        (fun ((name, v) : string * Fuzz.Differ.verdict) ->
+          match v with
+          | Fuzz.Differ.Fail d ->
+              Alcotest.fail
+                (Printf.sprintf "%s fails %s: %s" p.Ir.Types.prog_name name d)
+          | _ -> ())
+        (Fuzz.Differ.battery p))
+    (gen_programs ~seed:5 10)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "programs are well-formed" `Quick
+            test_gen_well_formed;
+          Alcotest.test_case "seeded determinism" `Quick test_gen_deterministic;
+          Alcotest.test_case "deep profile" `Slow test_gen_deep;
+        ] );
+      ( "shrinker",
+        [
+          Alcotest.test_case "preserves keep + well-formedness" `Quick
+            test_shrink_preserves;
+          Alcotest.test_case "idempotent" `Quick test_shrink_idempotent;
+          Alcotest.test_case "identity when keep never holds" `Quick
+            test_shrink_non_failing_identity;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "clean battery on clean code" `Slow
+            test_battery_clean;
+          Alcotest.test_case "injected mutation caught and shrunk" `Slow
+            test_injected_mutation;
+        ] );
+    ]

@@ -17,6 +17,31 @@ open Descriptor
 let count = 200
 
 (* ------------------------------------------------------------------ *)
+(* Reproducibility: every qcheck test runs from a deterministic seed,
+   overridable with QCHECK_SEED=<int>, and every counterexample printer
+   appends the seed plus a copy-pasteable dsmloc repro command, so a CI
+   failure can be replayed (and the offending program analyzed) without
+   re-running the suite blind. *)
+
+let qcheck_seed =
+  match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+  | Some n -> n
+  | None -> 730129
+
+let to_alcotest test =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| qcheck_seed |]) test
+
+let repro_footer =
+  Printf.sprintf
+    "# to replay this run:   QCHECK_SEED=%d dune exec test/test_properties.exe\n\
+     # to analyze directly:  save the program above as repro.dsm, then:\n\
+     #   dune exec bin/dsmloc.exe -- file repro.dsm --procs 4"
+    qcheck_seed
+
+let print_counterexample p =
+  Printf.sprintf "%s\n%s" (Frontend.Unparse.to_string p) repro_footer
+
+(* ------------------------------------------------------------------ *)
 (* Generators: constant-bound affine nests (always rectangular, so the
    descriptor expansion is defined and the oracle is exact). *)
 
@@ -59,9 +84,7 @@ let gen_affine_program =
        ~arrays:[ Build.array "A" [ i 2000 ] ]
        [ Build.phase "G" outer ])
 
-let arb_affine =
-  QCheck.make gen_affine_program ~print:(fun p ->
-      Format.asprintf "%a" Types.pp_program p)
+let arb_affine = QCheck.make gen_affine_program ~print:print_counterexample
 
 (* Two phases over the same array with the same stride and a shifted
    offset: the shape Unionize.homogenize is specified for. *)
@@ -84,9 +107,7 @@ let gen_shifted_pair =
               [ Build.assign [ Build.read "A" [ idx shift ] ] ]);
        ])
 
-let arb_shifted_pair =
-  QCheck.make gen_shifted_pair ~print:(fun p ->
-      Format.asprintf "%a" Types.pp_program p)
+let arb_shifted_pair = QCheck.make gen_shifted_pair ~print:print_counterexample
 
 (* ------------------------------------------------------------------ *)
 (* Oracles *)
@@ -282,8 +303,8 @@ let arb_recipe_pair =
   QCheck.make
     QCheck.Gen.(pair gen_recipe gen_recipe)
     ~print:(fun (a, b) ->
-      Format.asprintf "%a / %a" Expr.pp (build_recipe a) Expr.pp
-        (build_recipe b))
+      Format.asprintf "%a / %a@.%s" Expr.pp (build_recipe a) Expr.pp
+        (build_recipe b) repro_footer)
 
 let prop_intern_agrees_structural =
   QCheck.Test.make ~name:"interned equal/compare = structural reference"
@@ -420,7 +441,7 @@ let () =
   Alcotest.run "properties"
     [
       ( "descriptor-algebra",
-        List.map QCheck_alcotest.to_alcotest
+        List.map to_alcotest
           [
             prop_coalesce_oracle;
             prop_unionize_rows_oracle;
@@ -432,21 +453,21 @@ let () =
           ] );
       ( "caching",
         [
-          QCheck_alcotest.to_alcotest prop_memo_coherence;
-          QCheck_alcotest.to_alcotest prop_cold_warm_report;
+          to_alcotest prop_memo_coherence;
+          to_alcotest prop_cold_warm_report;
         ] );
       ( "interning",
-        List.map QCheck_alcotest.to_alcotest
+        List.map to_alcotest
           [ prop_intern_agrees_structural; prop_intern_reset_coherent ] );
       ( "frontend",
         [
-          QCheck_alcotest.to_alcotest prop_parse_unparse;
+          to_alcotest prop_parse_unparse;
           Alcotest.test_case "all samples roundtrip" `Quick
             test_samples_roundtrip;
         ] );
       ( "pipeline",
         [
-          QCheck_alcotest.to_alcotest prop_pipeline_deterministic;
+          to_alcotest prop_pipeline_deterministic;
           Alcotest.test_case "all samples deterministic" `Slow
             test_samples_deterministic;
         ] );
