@@ -850,9 +850,97 @@ let bechamel () =
       | _ -> Printf.printf "%-45s %16s\n" name "n/a")
     results
 
+(* ------------------------------------------------------------------ *)
+(* Real execution on OCaml domains vs the priced simulator: for each
+   kernel and machine width, run the compiled program over the shared
+   windows, check schedule parity / staleness / final contents, and
+   record the measured clocks next to the simulator's prediction
+   (BENCH_pipeline.json, schema bench_exec/1).  Wall-clock speedup is
+   honest: the [cores] field says how much hardware parallelism the
+   host actually offered, and on a single-core container speedups
+   below one are expected - the deterministic checks, not the clock,
+   are the regression signal there.
+
+   This mode runs alone (bench/main.exe exec): the executor spawns
+   domains, and mixing that with the forking worker pool in the same
+   process would be fragile in both directions. *)
+
+let bench_exec () =
+  sep "Executor vs simulator per kernel and width (BENCH_pipeline.json)";
+  let kernels = [ "jacobi2d"; "tfft2"; "adi" ] in
+  let hs = [ 2; 4; 8 ] in
+  let spin = 50 in
+  let cores = Domain.recommended_domain_count () in
+  let failed = ref false in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"schema\":\"bench_exec/1\",\"rev\":\"%s\",\"date\":\"%s\",\"cores\":%d,\"spin\":%d,\"points\":["
+       (Metrics.json_escape (git_rev ()))
+       (Metrics.json_escape (utc_date ()))
+       cores spin);
+  Printf.printf "(host offers %d cores)\n" cores;
+  Printf.printf "%-10s %3s %10s %10s %8s %9s %6s %6s %8s\n" "kernel" "H"
+    "par ms" "seq ms" "speedup" "msgs" "parity" "stale" "sim eff";
+  let first = ref true in
+  List.iter
+    (fun name ->
+      let entry = Codes.Registry.find name in
+      List.iter
+        (fun h ->
+          Core.Artifact.clear_all ();
+          let t =
+            Core.Pipeline.run entry.program
+              ~env:(entry.env_of_size entry.default_size)
+              ~h
+          in
+          let rounds = if entry.program.repeats then 2 else 1 in
+          let r = Exec.Runner.execute ~rounds ~spin t.lcg t.plan in
+          let sim =
+            Dsmsim.Exec.run ~rounds ~on_error:ignore t.lcg t.plan t.machine
+          in
+          let parity = Exec.Runner.schedule_parity r in
+          if
+            (not parity) || r.stale > 0 || r.content_mismatches > 0
+            || r.errors <> []
+          then failed := true;
+          Printf.printf "%-10s %3d %10.2f %10.2f %7.2fx %4d/%-4d %6b %6d %7.1f%%\n%!"
+            name h (1000. *. r.wall_par) (1000. *. r.wall_seq) r.speedup
+            r.sched_messages r.expected_messages parity r.stale
+            (100. *. sim.efficiency);
+          if not !first then Buffer.add_char buf ',';
+          first := false;
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"kernel\":\"%s\",\"h\":%d,\"rounds\":%d,\"wall_par_seconds\":%s,\"wall_seq_seconds\":%s,\"speedup\":%s,\"messages\":%d,\"words\":%d,\"schedule_messages\":%d,\"schedule_words\":%d,\"parity\":%b,\"remote_gets\":%d,\"remote_puts\":%d,\"reads_checked\":%d,\"stale\":%d,\"content_cells\":%d,\"content_mismatches\":%d,\"sim_efficiency\":%s}"
+               (Metrics.json_escape name) h rounds
+               (Metrics.json_float r.wall_par)
+               (Metrics.json_float r.wall_seq)
+               (Metrics.json_float r.speedup)
+               r.sched_messages r.sched_words r.expected_messages
+               r.expected_words parity r.remote_gets r.remote_puts
+               r.reads_checked r.stale r.content_cells r.content_mismatches
+               (Metrics.json_float sim.efficiency)))
+        hs)
+    kernels;
+  Buffer.add_string buf "]}\n";
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_pipeline.json"
+  in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "appended to BENCH_pipeline.json (%d points)\n"
+    (List.length kernels * List.length hs);
+  if !failed then begin
+    Printf.eprintf "bench_exec: executor check failed on some point\n";
+    exit 1
+  end
+
 let () =
   Probe.with_seed 2026 (fun () ->
       if Array.length Sys.argv > 1 && Sys.argv.(1) = "curve" then bench_curve ()
+      else if Array.length Sys.argv > 1 && Sys.argv.(1) = "exec" then
+        bench_exec ()
       else begin
       fig1 ();
       fig2 ();

@@ -494,6 +494,76 @@ let spmd_cmd =
     (Cmd.info "spmd" ~doc:"Emit the SPMD pseudo-code the plan implies.")
     Term.(const f $ code_arg $ size_arg $ procs_arg)
 
+let run_cmd =
+  let domains_arg =
+    let doc = "Number of OCaml domains to execute on (the machine width H)." in
+    Arg.(value & opt pow_int_conv 4 & info [ "domains"; "d" ] ~docv:"H" ~doc)
+  in
+  let rounds_arg =
+    let doc =
+      "Traversals of the phase sequence (default: 2 for repeating programs, \
+       1 otherwise)."
+    in
+    Arg.(value & opt (some int) None & info [ "rounds" ] ~docv:"N" ~doc)
+  in
+  let spin_arg =
+    let doc =
+      "Busy-loop iterations per abstract work cycle, scaling statement \
+       compute into real time."
+    in
+    Arg.(value & opt int 0 & info [ "spin" ] ~docv:"K" ~doc)
+  in
+  let validate_run_arg =
+    let doc =
+      "Fail (exit 3) on any stale read or final-content mismatch against \
+       the sequential replay, not just on schedule-parity violations."
+    in
+    Arg.(value & flag & info [ "validate" ] ~doc)
+  in
+  let f name size h rounds spin validate =
+    with_entry name size (fun entry env ->
+        let t = run_pipeline entry env h in
+        fatal_guard t @@ fun () ->
+        let rounds =
+          match rounds with
+          | Some r -> r
+          | None -> if entry.program.repeats then 2 else 1
+        in
+        match Exec.Runner.execute ~rounds ~spin t.lcg t.plan with
+        | exception Exec.Runner.Unsupported msg ->
+            Printf.eprintf "unsupported: %s\n" msg;
+            exit 1
+        | r ->
+            let sim =
+              Dsmsim.Exec.run ~rounds
+                ~on_error:(Core.Pipeline.record_comm_error t)
+                t.lcg t.plan t.machine
+            in
+            Format.printf "%a@." Exec.Runner.pp r;
+            Format.printf
+              "simulator: T_par=%.0f T_seq=%.0f efficiency=%.1f%% (%d remote \
+               accesses predicted, %d measured)@."
+              sim.par_time sim.seq_time
+              (100.0 *. sim.efficiency)
+              sim.total_remote
+              (r.remote_gets + r.remote_puts);
+            let failed =
+              (not (Exec.Runner.schedule_parity r))
+              || r.errors <> []
+              || (validate && (r.stale > 0 || r.content_mismatches > 0))
+            in
+            finish ~failed t)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Execute the compiled program on OCaml domains over put-style \
+          shared windows and check it against the schedule and a \
+          sequential replay.")
+    Term.(
+      const f $ code_arg $ size_arg $ domains_arg $ rounds_arg $ spin_arg
+      $ validate_run_arg)
+
 let dot_cmd =
   let f name size h =
     with_entry name size (fun entry env ->
@@ -1191,4 +1261,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; analyze_cmd; batch_cmd; lcg_cmd; solve_cmd; simulate_cmd; sweep_cmd; comm_cmd; dot_cmd; spmd_cmd; report_cmd; table1_cmd; stability_cmd; validate_cmd; file_cmd; lint_cmd; fuzz_cmd; serve_cmd; request_cmd ]))
+          [ list_cmd; analyze_cmd; batch_cmd; lcg_cmd; solve_cmd; simulate_cmd; sweep_cmd; comm_cmd; dot_cmd; spmd_cmd; run_cmd; report_cmd; table1_cmd; stability_cmd; validate_cmd; file_cmd; lint_cmd; fuzz_cmd; serve_cmd; request_cmd ]))

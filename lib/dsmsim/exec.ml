@@ -1,7 +1,7 @@
 open Locality
 open Ilp
 
-type phase_stats = {
+type phase_stats = Machine.phase_stats = {
   name : string;
   local : int;
   remote : int;
@@ -9,9 +9,9 @@ type phase_stats = {
   time : float;
 }
 
-type comm_kind = Redistribution | Frontier_update
+type comm_kind = Machine.comm_kind = Redistribution | Frontier_update
 
-type comm_stats = {
+type comm_stats = Machine.comm_stats = {
   array : string;
   kind : comm_kind;
   before_phase : int;
@@ -19,12 +19,12 @@ type comm_stats = {
   time : float;
 }
 
-type proc_stats = {
+type proc_stats = Machine.proc_stats = {
   compute_time : float;
   access_time : float;  (** local + remote access cycles *)
 }
 
-type run = {
+type run = Machine.run = {
   h : int;
   phases : phase_stats list;
   comms : comm_stats list;
@@ -310,26 +310,138 @@ let word_count = Symbolic.Metrics.counter "exec.words"
 let local_count = Symbolic.Metrics.counter "exec.local"
 let remote_count = Symbolic.Metrics.counter "exec.remote"
 
+(* The priced simulator as a {!Machine.BACKEND}: [phase] applies the
+   per-phase summary (computed once at creation, replayed per round),
+   [comm] prices a scheduled event against the busiest processor. *)
+module Sim = struct
+  type t = {
+    lcg : Lcg.t;
+    plan : Distribution.plan;
+    m : Cost.machine;
+    summaries : summary array;
+    proc_compute : float array;
+    proc_access : float array;
+    (* written-array set of the phase currently being stepped; [comm]
+       is called for a phase's frontier events after its [phase], so
+       the frontier filter sees the right sweep. *)
+    mutable written : string list;
+  }
+
+  let create ?on_error (lcg : Lcg.t) (plan : Distribution.plan)
+      (m : Cost.machine) =
+    let sizes = Hashtbl.create 8 in
+    let size_of array =
+      match Hashtbl.find_opt sizes array with
+      | Some s -> s
+      | None ->
+          let s = array_size ?on_error lcg array in
+          Hashtbl.add sizes array s;
+          s
+    in
+    {
+      lcg;
+      plan;
+      m;
+      summaries =
+        Array.of_list
+          (List.mapi
+             (fun k ph -> summarize lcg plan m ~size_of k ph)
+             lcg.prog.phases);
+      proc_compute = Array.make plan.h 0.0;
+      proc_access = Array.make plan.h 0.0;
+      written = [];
+    }
+
+  (* Per-processor cost of one communication event: every processor
+     overlaps its own sends and receives; the event completes when the
+     busiest processor does. *)
+  let event_time b messages =
+    let h = b.plan.h in
+    let sends = Array.make h 0 and recvs = Array.make h 0 in
+    let msgs = Array.make h 0 in
+    List.iter
+      (fun (msg : Comm.message) ->
+        Symbolic.Metrics.incr msg_count;
+        Symbolic.Metrics.incr word_count ~by:msg.words;
+        sends.(msg.src) <- sends.(msg.src) + msg.words;
+        recvs.(msg.dst) <- recvs.(msg.dst) + msg.words;
+        msgs.(msg.src) <- msgs.(msg.src) + 1)
+      messages;
+    let worst = ref 0.0 in
+    for p0 = 0 to h - 1 do
+      let t =
+        float_of_int (msgs.(p0) * b.m.t_startup)
+        +. float_of_int ((sends.(p0) + recvs.(p0)) * b.m.t_word)
+      in
+      if t > !worst then worst := t
+    done;
+    !worst
+
+  let words_of messages =
+    List.fold_left (fun a (msg : Comm.message) -> a + msg.words) 0 messages
+
+  let comm b ~round:_ ~k = function
+    | Comm.Redistribute { array; before_phase = _; messages } ->
+        let t = event_time b messages in
+        Some
+          {
+            array;
+            kind = Machine.Redistribution;
+            before_phase = k;
+            words = words_of messages;
+            time = t;
+          }
+    | Comm.Frontier { array; after_phase = _; messages } ->
+        if List.mem array b.written then
+          let t = event_time b messages in
+          Some
+            {
+              array;
+              kind = Machine.Frontier_update;
+              before_phase = k + 1;
+              words = words_of messages;
+              time = t;
+            }
+        else None
+
+  let phase b ~round:_ ~k (ph : Ir.Types.phase) =
+    let s = b.summaries.(k) in
+    for p0 = 0 to b.plan.h - 1 do
+      b.proc_compute.(p0) <- b.proc_compute.(p0) +. s.s_pcompute.(p0);
+      b.proc_access.(p0) <- b.proc_access.(p0) +. s.s_paccess.(p0)
+    done;
+    b.written <- s.s_written;
+    (* Direct remote accesses are one-sided single-word gets/puts; they
+       are traffic just as the aggregated schedule events are, so the
+       message metrics count them on both accounting modes (the
+       summaries are mode-independent by the enum-parity oracle). *)
+    Symbolic.Metrics.incr msg_count ~by:s.s_remote;
+    Symbolic.Metrics.incr word_count ~by:s.s_remote;
+    ( {
+        name = ph.Ir.Types.phase_name;
+        local = s.s_local;
+        remote = s.s_remote;
+        compute = s.s_compute;
+        time = Array.fold_left max 0.0 s.s_clock;
+      },
+      s.s_seq )
+
+  let per_proc b =
+    Array.init b.plan.h (fun p0 ->
+        {
+          compute_time = b.proc_compute.(p0);
+          access_time = b.proc_access.(p0);
+        })
+end
+
+module Sim_driver = Machine.Driver (Sim)
+
 let run ?(rounds = 1) ?on_error ?faults ?(retries = 0) (lcg : Lcg.t)
     (plan : Distribution.plan) (m : Cost.machine) : run =
   Symbolic.Metrics.with_timer exec_timer @@ fun () ->
-  let h = plan.h in
-  let sizes = Hashtbl.create 8 in
-  let size_of array =
-    match Hashtbl.find_opt sizes array with
-    | Some s -> s
-    | None ->
-        let s = array_size ?on_error lcg array in
-        Hashtbl.add sizes array s;
-        s
-  in
-  let phases = ref [] and comms = ref [] in
-  let total_local = ref 0 and total_remote = ref 0 in
-  let par_time = ref 0.0 and seq_time = ref 0.0 in
-  let proc_compute = Array.make h 0.0 and proc_access = Array.make h 0.0 in
   let sched = Comm.generate ?on_error lcg plan in
   (* Fault injection perturbs the delivered schedule; retry attempts
-     are charged per round below (every round faces the same loss). *)
+     are charged per round (every round faces the same loss). *)
   let sched, fault_stats =
     match faults with
     | None -> (sched, None)
@@ -344,122 +456,14 @@ let run ?(rounds = 1) ?on_error ?faults ?(retries = 0) (lcg : Lcg.t)
         List.fold_left (fun acc r -> acc +. retry_cost m r) 0.0 st.retries
   in
   let retry_time = float_of_int rounds *. retry_time_per_round in
-  par_time := retry_time;
-  (* Per-processor cost of one communication event: every processor
-     overlaps its own sends and receives; the event completes when the
-     busiest processor does. *)
-  let event_time messages =
-    let sends = Array.make h 0 and recvs = Array.make h 0 in
-    let msgs = Array.make h 0 in
-    List.iter
-      (fun (msg : Comm.message) ->
-        Symbolic.Metrics.incr msg_count;
-        Symbolic.Metrics.incr word_count ~by:msg.words;
-        sends.(msg.src) <- sends.(msg.src) + msg.words;
-        recvs.(msg.dst) <- recvs.(msg.dst) + msg.words;
-        msgs.(msg.src) <- msgs.(msg.src) + 1)
-      messages;
-    let worst = ref 0.0 in
-    for p0 = 0 to h - 1 do
-      let t =
-        float_of_int (msgs.(p0) * m.t_startup)
-        +. float_of_int ((sends.(p0) + recvs.(p0)) * m.t_word)
-      in
-      if t > !worst then worst := t
-    done;
-    !worst
+  let b = Sim.create ?on_error lcg plan m in
+  let r =
+    Sim_driver.drive ~initial_time:retry_time ~rounds ~sched
+      ~phases:lcg.prog.phases ~h:plan.h b
   in
-  let summaries =
-    List.mapi (fun k ph -> summarize lcg plan m ~size_of k ph) lcg.prog.phases
-  in
-  for round = 0 to rounds - 1 do
-  List.iteri
-    (fun k ph ->
-      (* Communication entering this phase, straight from the generated
-         schedule (wrap events fire from the second round on). *)
-      List.iter
-        (function
-          | Comm.Redistribute { array; before_phase; messages }
-            when before_phase = k && (k > 0 || round > 0) ->
-              let words =
-                List.fold_left
-                  (fun a (msg : Comm.message) -> a + msg.words)
-                  0 messages
-              in
-              let t = event_time messages in
-              par_time := !par_time +. t;
-              comms :=
-                { array; kind = Redistribution; before_phase = k; words; time = t }
-                :: !comms
-          | _ -> ())
-        sched;
-      (* Phase execution, from the per-phase summary. *)
-      let s = List.nth summaries k in
-      for p0 = 0 to h - 1 do
-        proc_compute.(p0) <- proc_compute.(p0) +. s.s_pcompute.(p0);
-        proc_access.(p0) <- proc_access.(p0) +. s.s_paccess.(p0)
-      done;
-      seq_time := !seq_time +. s.s_seq;
-      let t = Array.fold_left max 0.0 s.s_clock in
-      (* Frontier updates leaving this phase, from the schedule. *)
-      let frontier_t =
-        List.fold_left
-          (fun acc ev ->
-            match ev with
-            | Comm.Frontier { array; after_phase; messages }
-              when after_phase = k && List.mem array s.s_written ->
-                let words =
-                  List.fold_left
-                    (fun a (msg : Comm.message) -> a + msg.words)
-                    0 messages
-                in
-                let tt = event_time messages in
-                comms :=
-                  {
-                    array;
-                    kind = Frontier_update;
-                    before_phase = k + 1;
-                    words;
-                    time = tt;
-                  }
-                  :: !comms;
-                acc +. tt
-            | _ -> acc)
-          0.0 sched
-      in
-      par_time := !par_time +. t +. frontier_t;
-      total_local := !total_local + s.s_local;
-      total_remote := !total_remote + s.s_remote;
-      phases :=
-        {
-          name = ph.Ir.Types.phase_name;
-          local = s.s_local;
-          remote = s.s_remote;
-          compute = s.s_compute;
-          time = t;
-        }
-        :: !phases)
-    lcg.prog.phases
-  done;
-  Symbolic.Metrics.incr local_count ~by:!total_local;
-  Symbolic.Metrics.incr remote_count ~by:!total_remote;
-  let par = !par_time in
-  let seq = !seq_time in
-  {
-    h;
-    phases = List.rev !phases;
-    comms = List.rev !comms;
-    par_time = par;
-    seq_time = seq;
-    efficiency = (if par <= 0.0 then 1.0 else seq /. (float_of_int h *. par));
-    total_local = !total_local;
-    total_remote = !total_remote;
-    per_proc =
-      Array.init h (fun p0 ->
-          { compute_time = proc_compute.(p0); access_time = proc_access.(p0) });
-    retry_time;
-    fault_stats;
-  }
+  Symbolic.Metrics.incr local_count ~by:r.total_local;
+  Symbolic.Metrics.incr remote_count ~by:r.total_remote;
+  { r with retry_time; fault_stats }
 
 let pp ppf (r : run) =
   Format.fprintf ppf

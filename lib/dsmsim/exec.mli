@@ -10,7 +10,7 @@
 
 open Locality
 
-type phase_stats = {
+type phase_stats = Machine.phase_stats = {
   name : string;
   local : int;  (** local accesses *)
   remote : int;
@@ -18,9 +18,9 @@ type phase_stats = {
   time : float;  (** parallel time of this phase (max over processors) *)
 }
 
-type comm_kind = Redistribution | Frontier_update
+type comm_kind = Machine.comm_kind = Redistribution | Frontier_update
 
-type comm_stats = {
+type comm_stats = Machine.comm_stats = {
   array : string;
   kind : comm_kind;
   before_phase : int;
@@ -30,12 +30,12 @@ type comm_stats = {
   time : float;
 }
 
-type proc_stats = {
+type proc_stats = Machine.proc_stats = {
   compute_time : float;
   access_time : float;  (** local + remote access cycles *)
 }
 
-type run = {
+type run = Machine.run = {
   h : int;
   phases : phase_stats list;
   comms : comm_stats list;

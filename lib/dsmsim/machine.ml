@@ -1,0 +1,137 @@
+
+
+type phase_stats = {
+  name : string;
+  local : int;
+  remote : int;
+  compute : int;
+  time : float;
+}
+
+type comm_kind = Redistribution | Frontier_update
+
+type comm_stats = {
+  array : string;
+  kind : comm_kind;
+  before_phase : int;
+  words : int;
+  time : float;
+}
+
+type proc_stats = {
+  compute_time : float;
+  access_time : float;
+}
+
+type run = {
+  h : int;
+  phases : phase_stats list;
+  comms : comm_stats list;
+  par_time : float;
+  seq_time : float;
+  efficiency : float;
+  total_local : int;
+  total_remote : int;
+  per_proc : proc_stats array;
+  retry_time : float;
+  fault_stats : Fault.stats option;
+}
+
+(* The round/phase/event protocol every backend replays identically:
+   redistribution events deliver on entry to their phase, except that
+   wrap-around events (before_phase = 0) only fire from the second
+   round on; frontier events deliver on exit from their phase, every
+   round.  [step] receives the events already gated and ordered, so a
+   backend cannot get the protocol wrong by construction. *)
+let walk ~rounds ~sched ~phases ~step =
+  for round = 0 to rounds - 1 do
+    List.iteri
+      (fun k ph ->
+        let incoming =
+          List.filter
+            (function
+              | Comm.Redistribute { before_phase; _ } ->
+                  before_phase = k && (k > 0 || round > 0)
+              | Comm.Frontier _ -> false)
+            sched
+        in
+        let outgoing =
+          List.filter
+            (function
+              | Comm.Frontier { after_phase; _ } -> after_phase = k
+              | Comm.Redistribute _ -> false)
+            sched
+        in
+        step ~round ~k ph ~incoming ~outgoing)
+      phases
+  done
+
+module type BACKEND = sig
+  type t
+
+  val comm : t -> round:int -> k:int -> Comm.event -> comm_stats option
+  (** Perform (or price) one scheduled event adjacent to phase [k];
+      [None] means the backend filtered the event (no stats recorded,
+      no time charged).  Called after {!phase} for frontier events of
+      the same phase, so a backend may condition on what the phase
+      actually wrote. *)
+
+  val phase : t -> round:int -> k:int -> Ir.Types.phase -> phase_stats * float
+  (** Run (or price) one phase sweep under the plan's CYCLIC(p_k)
+      owner-computes schedule.  Returns the phase's stats and its
+      contribution to the serialized baseline. *)
+
+  val per_proc : t -> proc_stats array
+  (** Per-processor clocks, read once after the last phase. *)
+end
+
+module Driver (B : BACKEND) = struct
+  (* Accumulation order is part of the contract: each redistribution
+     event's time is added to [par_time] as it fires, then one addition
+     of phase time plus the folded frontier time - the float-summation
+     order the priced simulator always used, preserved so reports stay
+     byte-identical across the refactor. *)
+  let drive ?(initial_time = 0.0) ~rounds ~sched ~phases ~h b : run =
+    let phase_acc = ref [] and comms = ref [] in
+    let total_local = ref 0 and total_remote = ref 0 in
+    let par_time = ref initial_time and seq_time = ref 0.0 in
+    walk ~rounds ~sched ~phases ~step:(fun ~round ~k ph ~incoming ~outgoing ->
+        List.iter
+          (fun ev ->
+            match B.comm b ~round ~k ev with
+            | Some cs ->
+                par_time := !par_time +. cs.time;
+                comms := cs :: !comms
+            | None -> ())
+          incoming;
+        let ps, seq = B.phase b ~round ~k ph in
+        seq_time := !seq_time +. seq;
+        let frontier_t =
+          List.fold_left
+            (fun acc ev ->
+              match B.comm b ~round ~k ev with
+              | Some cs ->
+                  comms := cs :: !comms;
+                  acc +. cs.time
+              | None -> acc)
+            0.0 outgoing
+        in
+        par_time := !par_time +. ps.time +. frontier_t;
+        total_local := !total_local + ps.local;
+        total_remote := !total_remote + ps.remote;
+        phase_acc := ps :: !phase_acc);
+    let par = !par_time and seq = !seq_time in
+    {
+      h;
+      phases = List.rev !phase_acc;
+      comms = List.rev !comms;
+      par_time = par;
+      seq_time = seq;
+      efficiency = (if par <= 0.0 then 1.0 else seq /. (float_of_int h *. par));
+      total_local = !total_local;
+      total_remote = !total_remote;
+      per_proc = B.per_proc b;
+      retry_time = 0.0;
+      fault_stats = None;
+    }
+end

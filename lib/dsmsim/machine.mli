@@ -1,0 +1,112 @@
+(** The backend-parameterized machine interface.
+
+    Everything that replays a program under a distribution plan - the
+    priced DSM simulator ({!Exec}), the versioned-memory validator
+    ({!Validate}), and the real OCaml-domains executor (library
+    [exec]) - follows the same protocol: per round, per phase, deliver
+    the gated incoming redistribution events, run the phase's
+    CYCLIC(p_k) owner-computes sweep, deliver the outgoing frontier
+    events.  {!walk} encodes that protocol once; {!BACKEND} is what a
+    machine must provide (perform or price one scheduled communication
+    event, run one phase sweep, report per-processor clocks); and
+    {!Driver} turns any backend into a {!run} record with the exact
+    accounting the simulator always produced. *)
+
+
+
+type phase_stats = {
+  name : string;
+  local : int;  (** local accesses *)
+  remote : int;
+  compute : int;  (** work cycles *)
+  time : float;  (** parallel time of this phase (max over processors) *)
+}
+
+type comm_kind = Redistribution | Frontier_update
+
+type comm_stats = {
+  array : string;
+  kind : comm_kind;
+  before_phase : int;
+      (** redistribution: fires before this phase; frontier update:
+          fires after phase [before_phase - 1] *)
+  words : int;  (** words moved *)
+  time : float;
+}
+
+type proc_stats = {
+  compute_time : float;
+  access_time : float;  (** local + remote access cycles *)
+}
+
+type run = {
+  h : int;
+  phases : phase_stats list;
+  comms : comm_stats list;
+  par_time : float;  (** sum of phase maxima + communication + retries *)
+  seq_time : float;  (** one processor, all local *)
+  efficiency : float;  (** seq / (h * par) *)
+  total_local : int;
+  total_remote : int;
+  per_proc : proc_stats array;  (** work distribution across processors *)
+  retry_time : float;
+      (** exponential-backoff cycles spent resending faulted messages
+          (0 when fault injection is off) *)
+  fault_stats : Fault.stats option;  (** present when [faults] was given *)
+}
+
+val walk :
+  rounds:int ->
+  sched:Comm.schedule ->
+  phases:'a list ->
+  step:
+    (round:int ->
+    k:int ->
+    'a ->
+    incoming:Comm.event list ->
+    outgoing:Comm.event list ->
+    unit) ->
+  unit
+(** Drive the round/phase/event protocol over a schedule: [step] is
+    called once per (round, phase) with the redistribution events that
+    enter the phase (wrap-around events, [before_phase = 0], gated to
+    fire only from the second round on) and the frontier events that
+    leave it.  Deliver [incoming], sweep, deliver [outgoing]. *)
+
+module type BACKEND = sig
+  type t
+
+  val comm : t -> round:int -> k:int -> Comm.event -> comm_stats option
+  (** Perform (or price) one scheduled event adjacent to phase [k];
+      [None] means the backend filtered the event (no stats recorded,
+      no time charged).  Called after {!phase} for frontier events of
+      the same phase, so a backend may condition on what the phase
+      actually wrote. *)
+
+  val phase : t -> round:int -> k:int -> Ir.Types.phase -> phase_stats * float
+  (** Run (or price) one phase sweep under the plan's CYCLIC(p_k)
+      owner-computes schedule.  Returns the phase's stats and its
+      contribution to the serialized baseline. *)
+
+  val per_proc : t -> proc_stats array
+  (** Per-processor clocks, read once after the last phase. *)
+end
+
+module Driver (B : BACKEND) : sig
+  val drive :
+    ?initial_time:float ->
+    rounds:int ->
+    sched:Comm.schedule ->
+    phases:Ir.Types.phase list ->
+    h:int ->
+    B.t ->
+    run
+  (** Replay [rounds] traversals of the phase sequence against the
+      backend and assemble the {!run} record: [par_time] accumulates
+      each redistribution event's time as it fires, then phase time
+      plus folded frontier time, preserving the simulator's historical
+      float-summation order bit for bit.  [initial_time] seeds
+      [par_time] (the simulator charges its retry budget there); the
+      returned record has [retry_time = 0] and [fault_stats = None],
+      which the caller owning those concerns overrides. *)
+end

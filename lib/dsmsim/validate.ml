@@ -40,19 +40,18 @@ let run ?(rounds = 1) ?on_error ?sched (lcg : Lcg.t) (plan : Distribution.plan)
         done)
       m.ranges
   in
-  let n_phases = List.length lcg.prog.phases in
-  for round = 0 to rounds - 1 do
-    List.iteri
-      (fun k ph ->
-        (* incoming redistribution; wrap events (before_phase = 0) fire
-           only from the second round on *)
+  (* The round/phase/event protocol is Machine.walk's; this backend
+     delivers every gated event (no written-set filter: an un-written
+     frontier strip is a no-op copy) and replays accesses against the
+     versioned memory. *)
+  Machine.walk ~rounds ~sched ~phases:lcg.prog.phases
+    ~step:(fun ~round:_ ~k ph ~incoming ~outgoing ->
         List.iter
           (function
-            | Comm.Redistribute { array; before_phase; messages }
-              when before_phase = k && (k > 0 || round > 0) ->
+            | Comm.Redistribute { array; messages; _ } ->
                 List.iter (fun m -> deliver m array) messages
-            | _ -> ())
-          sched;
+            | Comm.Frontier _ -> ())
+          incoming;
         let chunk = plan.chunk.(k) in
         let privatized array = List.mem (k, array) plan.privatized in
         Ir.Enumerate.iter lcg.prog lcg.env ph
@@ -106,14 +105,10 @@ let run ?(rounds = 1) ?on_error ?sched (lcg : Lcg.t) (plan : Distribution.plan)
         (* outgoing frontier updates *)
         List.iter
           (function
-            | Comm.Frontier { array; after_phase; messages }
-              when after_phase = k ->
+            | Comm.Frontier { array; messages; _ } ->
                 List.iter (fun m -> deliver m array) messages
-            | _ -> ())
-          sched;
-        ignore n_phases)
-      lcg.prog.phases
-  done;
+            | Comm.Redistribute _ -> ())
+          outgoing);
   { reads = !reads; stale = !stale; stale_examples = List.rev !examples }
 
 let ok r = r.stale = 0

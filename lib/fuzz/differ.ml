@@ -215,6 +215,66 @@ let cold_warm prog =
         (Printf.sprintf "cold and warm reports diverge at line %d: %S vs %S" l a b)
   | None -> Pass
 
+(* Simulated-vs-executed parity: actually run the generated program on
+   OCaml domains and hold it to the model - delivered messages must
+   equal the Comm schedule under the same gating, every executed read
+   must equal its sequential-replay value, and final-epoch contents
+   must land in the owners' replicas.  Generated parallel loops are
+   race-free by construction (see {!Gen}), so any stale read here is a
+   protocol bug, not a program bug. *)
+let exec_budget_words = 1 lsl 16
+
+let exec_parity prog =
+  let t = with_mode Lattice.Auto (fun () -> run_pipeline prog) in
+  if Core.Pipeline.degraded t then Skip "pipeline degraded"
+  else begin
+    let unsized =
+      List.find_opt
+        (fun (d : Ir.Types.array_decl) ->
+          Dsmsim.Comm.array_size t.lcg d.name = None)
+        t.lcg.prog.arrays
+    in
+    match unsized with
+    | Some d -> Skip ("size of " ^ d.name ^ " does not evaluate")
+    | None ->
+        let total =
+          List.fold_left
+            (fun acc (d : Ir.Types.array_decl) ->
+              acc
+              + Option.value ~default:0 (Dsmsim.Comm.array_size t.lcg d.name))
+            0 t.lcg.prog.arrays
+        in
+        if total > exec_budget_words then
+          Skip (Printf.sprintf "arrays total %d words, over budget" total)
+        else begin
+          let rounds = if prog.Ir.Types.repeats then 2 else 1 in
+          let v = Dsmsim.Validate.run ~rounds t.lcg t.plan in
+          if v.stale > 0 then
+            Skip "simulated replay itself reads stale (caught by validate)"
+          else
+            match Exec.Runner.execute ~rounds t.lcg t.plan with
+            | exception Exec.Runner.Unsupported m -> Skip ("unsupported: " ^ m)
+            | r ->
+                if r.errors <> [] then
+                  Fail ("executor error: " ^ String.concat "; " r.errors)
+                else if not (Exec.Runner.schedule_parity r) then
+                  Fail
+                    (Printf.sprintf
+                       "delivered %d msgs / %d words, schedule has %d / %d"
+                       r.sched_messages r.sched_words r.expected_messages
+                       r.expected_words)
+                else if r.stale > 0 then
+                  Fail
+                    (Printf.sprintf "%d stale reads (of %d checked)" r.stale
+                       r.reads_checked)
+                else if r.content_mismatches > 0 then
+                  Fail
+                    (Printf.sprintf "%d final cells differ from replay (of %d)"
+                       r.content_mismatches r.content_cells)
+                else Pass
+        end
+  end
+
 (* ------------------------------------------------------------------ *)
 
 let guarded f prog = try f prog with e -> Fail ("exception: " ^ Printexc.to_string e)
@@ -244,6 +304,10 @@ let checks =
     { name = "cold-warm";
       doc = "warm artifact store reproduces the cold report";
       run = guarded cold_warm;
+    };
+    { name = "exec-parity";
+      doc = "domain execution matches the schedule and the sequential replay";
+      run = guarded exec_parity;
     };
   ]
 

@@ -1,0 +1,115 @@
+(* The real executor (library [exec]) against the analysis stack: for
+   registry kernels, running the compiled program on OCaml domains must
+   deliver exactly the messages the Comm schedule predicts, serve no
+   stale reads (every executed read equals its sequential-replay
+   value), and leave final-epoch array contents equal to the replay's
+   in the owners' replicas. *)
+
+open Symbolic
+
+let pipeline name ~h =
+  let e = Codes.Registry.find name in
+  Probe.with_seed 701 (fun () ->
+      Core.Artifact.clear_all ();
+      Core.Pipeline.run e.program ~env:(e.env_of_size e.default_size) ~h)
+
+let check_run name (r : Exec.Runner.result) =
+  Alcotest.(check (list string)) (name ^ " errors") [] r.errors;
+  Alcotest.(check int)
+    (name ^ " scheduled messages match the Comm schedule")
+    r.expected_messages r.sched_messages;
+  Alcotest.(check int)
+    (name ^ " scheduled words match the Comm schedule")
+    r.expected_words r.sched_words;
+  Alcotest.(check int) (name ^ " stale reads") 0 r.stale;
+  Alcotest.(check int) (name ^ " content mismatches") 0 r.content_mismatches;
+  Alcotest.check Alcotest.bool (name ^ " ok") true (Exec.Runner.ok r)
+
+let test_kernel name h () =
+  let t = pipeline name ~h in
+  let r = Exec.Runner.execute t.Core.Pipeline.lcg t.Core.Pipeline.plan in
+  check_run name r;
+  Alcotest.check Alcotest.bool
+    (name ^ " checked some reads")
+    true (r.reads_checked > 0)
+
+let test_rounds () =
+  (* the steady state: wrap-around redistribution events join from the
+     second traversal on, and parity must still hold *)
+  let t = pipeline "jacobi2d" ~h:4 in
+  let r =
+    Exec.Runner.execute ~rounds:3 t.Core.Pipeline.lcg t.Core.Pipeline.plan
+  in
+  check_run "jacobi2d rounds=3" r;
+  Alcotest.(check int) "rounds recorded" 3 r.rounds
+
+let test_affine_shapes () =
+  (* jacobi2d's subscripts and bounds live entirely in the affine
+     fragment: nothing should fall back to expression interpretation *)
+  let t = pipeline "jacobi2d" ~h:4 in
+  let phs =
+    Codegen.Compile.program t.Core.Pipeline.lcg.prog t.Core.Pipeline.lcg.env
+      t.Core.Pipeline.plan
+  in
+  Alcotest.check Alcotest.bool "jacobi2d has phases" true (phs <> []);
+  List.iter
+    (fun (cp : Codegen.Compile.t) ->
+      List.iter
+        (function
+          | Codegen.Compile.Opaque ->
+              Alcotest.failf "opaque expression in %s" cp.phase_name
+          | Codegen.Compile.Const _ | Codegen.Compile.Affine _ -> ())
+        cp.shapes)
+    phs
+
+let test_opaque_still_runs () =
+  (* tfft2's butterfly subscripts carry 2^l factors of a loop variable:
+     the compiler must fall back to interpretation, and the executed
+     result must still agree with replay and schedule *)
+  let t = pipeline "tfft2" ~h:2 in
+  let phs =
+    Codegen.Compile.program t.Core.Pipeline.lcg.prog t.Core.Pipeline.lcg.env
+      t.Core.Pipeline.plan
+  in
+  let opaque =
+    List.exists
+      (fun (cp : Codegen.Compile.t) ->
+        List.exists (( = ) Codegen.Compile.Opaque) cp.shapes)
+      phs
+  in
+  Alcotest.check Alcotest.bool "tfft2 exercises the opaque fallback" true
+    opaque;
+  let r = Exec.Runner.execute t.Core.Pipeline.lcg t.Core.Pipeline.plan in
+  check_run "tfft2" r
+
+let test_spin_speedup_fields () =
+  let t = pipeline "matmul" ~h:2 in
+  let r =
+    Exec.Runner.execute ~spin:20 t.Core.Pipeline.lcg t.Core.Pipeline.plan
+  in
+  check_run "matmul spin" r;
+  Alcotest.check Alcotest.bool "wall_par positive" true (r.wall_par > 0.0);
+  Alcotest.check Alcotest.bool "wall_seq positive" true (r.wall_seq > 0.0);
+  Alcotest.check Alcotest.bool "speedup positive" true (r.speedup > 0.0)
+
+let kernels = [ "jacobi2d"; "matmul"; "adi"; "redblack"; "swim"; "trisolve" ]
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "kernels-h2",
+        List.map
+          (fun n -> Alcotest.test_case n `Quick (test_kernel n 2))
+          kernels );
+      ( "kernels-h4",
+        List.map
+          (fun n -> Alcotest.test_case n `Quick (test_kernel n 4))
+          kernels );
+      ( "protocol",
+        [
+          Alcotest.test_case "rounds" `Quick test_rounds;
+          Alcotest.test_case "affine-shapes" `Quick test_affine_shapes;
+          Alcotest.test_case "opaque-fallback" `Quick test_opaque_still_runs;
+          Alcotest.test_case "spin-speedup" `Quick test_spin_speedup_fields;
+        ] );
+    ]

@@ -1,0 +1,539 @@
+(* Golden snapshots of the SPMD prose emitter for every registry
+   kernel: the exact text of `Codegen.Spmd.generate` under the default
+   size knob on 4 processors is pinned so that the Machine-signature
+   refactor of the execution stack (and any later change to the plan or
+   schedule machinery) cannot silently change emitted code.
+
+   Regenerate after an intentional emitter change with
+
+     GOLDEN_UPDATE=1 dune exec test/test_golden_spmd.exe
+
+   and paste the emitted bindings over the [golden] table below. *)
+
+open Symbolic
+
+let snapshot name =
+  let e = Codes.Registry.find name in
+  Probe.with_seed 701 (fun () ->
+      Core.Artifact.clear_all ();
+      let t =
+        Core.Pipeline.run e.program ~env:(e.env_of_size e.default_size) ~h:4
+      in
+      Codegen.Spmd.generate t.Core.Pipeline.lcg t.Core.Pipeline.plan
+        t.Core.Pipeline.machine)
+
+let golden : (string * string) list =
+  [
+    ("tfft2", {golden|! SPMD code generated from the LCG-derived distribution
+! program tfft2 on 4 processors (me = 0..3)
+
+! layout X: CYCLIC(64) anchored at 0
+! layout Y: CYCLIC(32) anchored at 0
+subroutine phase_F1(me)
+  do M_blk = 0 + me*32, -1 + P*Q, NPROC*32   ! CYCLIC(32) chunks of mine
+  do M = M_blk, min(M_blk + 31, -1 + P*Q)
+    Y(M) = X(2*M) + X(1 + 2*M)
+    Y(M + P*Q) = X(2*M) + X(1 + 2*M)
+    
+  end do
+  end do
+  
+end subroutine
+
+! layout X: CYCLIC(1) anchored at 0
+subroutine phase_F2(me)
+  do J_blk = 0 + me*1, -1 + P, NPROC*1   ! CYCLIC(1) chunks of mine
+  do J = J_blk, min(J_blk + 0, -1 + P)
+    do I = 0, -1 + Q
+      X(2*I*P + J) = Y(I + J*Q) + Y(I + J*Q + P*Q)
+      X(2*I*P + J + P) = Y(I + J*Q) + Y(I + J*Q + P*Q)
+      
+    end do
+    
+  end do
+  end do
+  
+end subroutine
+
+call redistribute_X()   ! 12 aggregated puts, 1536 words
+
+! layout X: CYCLIC(64) anchored at 0
+! Y privatized: each processor uses a local copy
+subroutine phase_F3(me)
+  do I_blk = 0 + me*1, -1 + Q, NPROC*1   ! CYCLIC(1) chunks of mine
+  do I = I_blk, min(I_blk + 0, -1 + Q)
+    do S = 0, -1 + 2*P
+      Y(2*I*P + S) = ...
+      
+    end do
+    do L = 1, p
+      do J = 0, -1 + P*2^(-L)
+        do K = 0, -1 + 1/2*2^(L)
+          X(2*I*P + 1/2*J*2^(L) + K) = Y(2*I*P + K) + X(2*I*P + 1/2*J*2^(L) + K) + X(2*I*P + 1/2*J*2^(L) + K + 1/2*P)
+          
+        end do
+        
+      end do
+      
+    end do
+    
+  end do
+  end do
+  
+end subroutine
+
+! layout Y: CYCLIC(1) anchored at 0
+subroutine phase_F4(me)
+  do I_blk = 0 + me*1, -1 + Q, NPROC*1   ! CYCLIC(1) chunks of mine
+  do I = I_blk, min(I_blk + 0, -1 + Q)
+    do J = 0, -1 + P
+      ... = X(2*I*P + J)
+      
+    end do
+    do J2 = 0, -1 + 2*P
+      Y(I + J2*Q) = ...
+      
+    end do
+    
+  end do
+  end do
+  
+end subroutine
+
+call redistribute_Y()   ! 12 aggregated puts, 1536 words
+
+! layout Y: CYCLIC(64) anchored at 0
+subroutine phase_F5(me)
+  do J_blk = 0 + me*1, -1 + P, NPROC*1   ! CYCLIC(1) chunks of mine
+  do J = J_blk, min(J_blk + 0, -1 + P)
+    do I = 0, -1 + 2*Q
+      X(I + 2*J*Q) = Y(I + 2*J*Q)
+      
+    end do
+    
+  end do
+  end do
+  
+end subroutine
+
+subroutine phase_F6(me)
+  do J_blk = 0 + me*1, -1 + P, NPROC*1   ! CYCLIC(1) chunks of mine
+  do J = J_blk, min(J_blk + 0, -1 + P)
+    do I = 0, -1 + 2*Q
+      Y(I + 2*J*Q) = X(I + 2*J*Q)
+      
+    end do
+    do I2 = 0, -1 + 2*Q
+      X(I2 + 2*J*Q) = Y(I2 + 2*J*Q)
+      
+    end do
+    
+  end do
+  end do
+  
+end subroutine
+
+subroutine phase_F7(me)
+  do J_blk = 0 + me*1, -1 + P, NPROC*1   ! CYCLIC(1) chunks of mine
+  do J = J_blk, min(J_blk + 0, -1 + P)
+    do I = 0, -1 + 2*Q
+      ... = X(I + 2*J*Q)
+      
+    end do
+    
+  end do
+  end do
+  
+end subroutine
+
+subroutine phase_F8(me)
+  do M_blk = 0 + me*64, -1 + 1/2*P*Q, NPROC*64   ! CYCLIC(64) chunks of mine
+  do M = M_blk, min(M_blk + 63, -1 + 1/2*P*Q)
+    X(M) = Y(M) + Y(M + P*Q) + Y(-1 - M + P*Q) + Y(-1 - M + 2*P*Q)
+    X(M + P*Q) = Y(M) + Y(M + P*Q) + Y(-1 - M + P*Q) + Y(-1 - M + 2*P*Q)
+    X(-1 - M + P*Q) = Y(M) + Y(M + P*Q) + Y(-1 - M + P*Q) + Y(-1 - M + 2*P*Q)
+    X(-1 - M + 2*P*Q) = Y(M) + Y(M + P*Q) + Y(-1 - M + P*Q) + Y(-1 - M + 2*P*Q)
+    
+  end do
+  end do
+  
+end subroutine
+
+|golden});
+    ("jacobi2d", {golden|! SPMD code generated from the LCG-derived distribution
+! program jacobi2d on 4 processors (me = 0..3)
+
+! layout U: CYCLIC(256) anchored at 33, ghost zone 32
+! layout V: CYCLIC(256) anchored at 33
+subroutine phase_SWEEP(me)
+  do c_blk = 1 + me*8, -2 + N, NPROC*8   ! CYCLIC(8) chunks of mine
+  do c = c_blk, min(c_blk + 7, -2 + N)
+    do r = 1, -2 + N
+      V(N*c + r) = U(-N + N*c + r) + U(N + N*c + r) + U(-1 + N*c + r) + U(1 + N*c + r) + U(N*c + r)
+      
+    end do
+    
+  end do
+  end do
+  
+end subroutine
+
+subroutine phase_COPY(me)
+  do c_blk = 1 + me*8, -2 + N, NPROC*8   ! CYCLIC(8) chunks of mine
+  do c = c_blk, min(c_blk + 7, -2 + N)
+    do r = 1, -2 + N
+      U(N*c + r) = V(N*c + r)
+      
+    end do
+    
+  end do
+  end do
+  
+end subroutine
+call frontier_update_U()   ! 6 boundary puts, 192 words
+
+|golden});
+    ("swim", {golden|! SPMD code generated from the LCG-derived distribution
+! program swim on 4 processors (me = 0..3)
+
+! layout U: CYCLIC(256) anchored at 32
+! layout V: CYCLIC(256) anchored at 33, ghost zone 30
+! layout P: CYCLIC(256) anchored at 33, ghost zone 30
+! layout CU: CYCLIC(256) anchored at 33, ghost zone 30
+! layout CV: CYCLIC(256) anchored at 33
+! layout PNEW: CYCLIC(256) anchored at 33
+subroutine phase_CALC1(me)
+  do c_blk = 1 + me*8, -2 + N, NPROC*8   ! CYCLIC(8) chunks of mine
+  do c = c_blk, min(c_blk + 7, -2 + N)
+    do r = 1, -2 + N
+      CU(N*c + r) = P(N*c + r) + P(-N + N*c + r) + U(N*c + r) + U(-1 + N*c + r)
+      CV(N*c + r) = P(N*c + r) + V(N*c + r) + V(-N + N*c + r)
+      
+    end do
+    
+  end do
+  end do
+  
+end subroutine
+call frontier_update_CU()   ! 6 boundary puts, 180 words
+
+subroutine phase_CALC2(me)
+  do c_blk = 1 + me*8, -2 + N, NPROC*8   ! CYCLIC(8) chunks of mine
+  do c = c_blk, min(c_blk + 7, -2 + N)
+    do r = 1, -2 + N
+      PNEW(N*c + r) = CU(N*c + r) + CU(N + N*c + r) + CV(N*c + r) + CV(1 + N*c + r) + P(N*c + r)
+      
+    end do
+    
+  end do
+  end do
+  
+end subroutine
+
+subroutine phase_CALC3(me)
+  do c_blk = 1 + me*8, -2 + N, NPROC*8   ! CYCLIC(8) chunks of mine
+  do c = c_blk, min(c_blk + 7, -2 + N)
+    do r = 1, -2 + N
+      P(N*c + r) = PNEW(N*c + r)
+      U(N*c + r) = PNEW(N*c + r)
+      V(N*c + r) = PNEW(N*c + r)
+      
+    end do
+    
+  end do
+  end do
+  
+end subroutine
+call frontier_update_P()   ! 6 boundary puts, 180 words
+call frontier_update_V()   ! 6 boundary puts, 180 words
+
+|golden});
+    ("tomcatv", {golden|! SPMD code generated from the LCG-derived distribution
+! program tomcatv on 4 processors (me = 0..3)
+
+call redistribute_PARTIAL()   ! 3 aggregated puts, 3 words
+
+! layout X: CYCLIC(256) anchored at 33, ghost zone 32
+! layout Y: CYCLIC(256) anchored at 33, ghost zone 32
+! layout RX: CYCLIC(256) anchored at 33
+! layout RY: CYCLIC(256) anchored at 33
+! layout PARTIAL: CYCLIC(8) anchored at 1
+subroutine phase_RESID(me)
+  do c_blk = 1 + me*8, -2 + N, NPROC*8   ! CYCLIC(8) chunks of mine
+  do c = c_blk, min(c_blk + 7, -2 + N)
+    do r = 1, -2 + N
+      RX(N*c + r) = X(N*c + r) + X(-N + N*c + r) + X(N + N*c + r) + X(-1 + N*c + r) + X(1 + N*c + r)
+      RY(N*c + r) = Y(N*c + r) + Y(-N + N*c + r) + Y(N + N*c + r) + Y(-1 + N*c + r) + Y(1 + N*c + r)
+      
+    end do
+    
+  end do
+  end do
+  
+end subroutine
+
+subroutine phase_NORM(me)
+  do c_blk = 1 + me*8, -2 + N, NPROC*8   ! CYCLIC(8) chunks of mine
+  do c = c_blk, min(c_blk + 7, -2 + N)
+    do r = 1, -2 + N
+      PARTIAL(c) = RX(N*c + r) + RY(N*c + r)
+      
+    end do
+    
+  end do
+  end do
+  
+end subroutine
+
+call redistribute_PARTIAL()   ! 3 aggregated puts, 3 words
+
+! layout PARTIAL: CYCLIC(8) anchored at 0
+subroutine phase_COMBINE(me)
+  do c = 1, -2 + N
+    ... = PARTIAL(c)
+    
+  end do
+  
+end subroutine
+
+subroutine phase_UPDATE(me)
+  do c_blk = 1 + me*8, -2 + N, NPROC*8   ! CYCLIC(8) chunks of mine
+  do c = c_blk, min(c_blk + 7, -2 + N)
+    do r = 1, -2 + N
+      X(N*c + r) = RX(N*c + r) + X(N*c + r)
+      Y(N*c + r) = RY(N*c + r) + Y(N*c + r)
+      
+    end do
+    
+  end do
+  end do
+  
+end subroutine
+call frontier_update_X()   ! 6 boundary puts, 192 words
+call frontier_update_Y()   ! 6 boundary puts, 192 words
+
+|golden});
+    ("matmul", {golden|! SPMD code generated from the LCG-derived distribution
+! program matmul on 4 processors (me = 0..3)
+
+! layout A: CYCLIC(64) anchored at 0, ghost zone 256
+! layout B: CYCLIC(16) anchored at 0
+! layout C: CYCLIC(16) anchored at 0
+subroutine phase_INIT(me)
+  do j_blk = 0 + me*1, -1 + N, NPROC*1   ! CYCLIC(1) chunks of mine
+  do j = j_blk, min(j_blk + 0, -1 + N)
+    do i = 0, -1 + N
+      C(N*j + i) = ...
+      
+    end do
+    
+  end do
+  end do
+  
+end subroutine
+
+subroutine phase_MULT(me)
+  do j_blk = 0 + me*1, -1 + N, NPROC*1   ! CYCLIC(1) chunks of mine
+  do j = j_blk, min(j_blk + 0, -1 + N)
+    do k = 0, -1 + N
+      do i = 0, -1 + N
+        C(N*j + i) = A(N*k + i) + B(N*j + k) + C(N*j + i)
+        
+      end do
+      
+    end do
+    
+  end do
+  end do
+  
+end subroutine
+
+subroutine phase_SCALE(me)
+  do j_blk = 0 + me*1, -1 + N, NPROC*1   ! CYCLIC(1) chunks of mine
+  do j = j_blk, min(j_blk + 0, -1 + N)
+    do i = 0, -1 + N
+      C(N*j + i) = C(N*j + i)
+      
+    end do
+    
+  end do
+  end do
+  
+end subroutine
+
+|golden});
+    ("adi", {golden|! SPMD code generated from the LCG-derived distribution
+! program adi on 4 processors (me = 0..3)
+
+call redistribute_U()   ! 12 aggregated puts, 768 words
+
+! layout U: CYCLIC(32) anchored at 0
+subroutine phase_COLSWEEP(me)
+  do c_blk = 0 + me*1, -1 + N, NPROC*1   ! CYCLIC(1) chunks of mine
+  do c = c_blk, min(c_blk + 0, -1 + N)
+    do r = 1, -1 + N
+      U(N*c + r) = U(-1 + N*c + r) + U(N*c + r)
+      
+    end do
+    
+  end do
+  end do
+  
+end subroutine
+
+call redistribute_U()   ! 12 aggregated puts, 768 words
+
+! layout U: CYCLIC(1) anchored at 0
+subroutine phase_ROWSWEEP(me)
+  do r_blk = 0 + me*1, -1 + N, NPROC*1   ! CYCLIC(1) chunks of mine
+  do r = r_blk, min(r_blk + 0, -1 + N)
+    do c = 1, -1 + N
+      U(N*c + r) = U(-N + N*c + r) + U(N*c + r)
+      
+    end do
+    
+  end do
+  end do
+  
+end subroutine
+
+|golden});
+    ("redblack", {golden|! SPMD code generated from the LCG-derived distribution
+! program redblack on 4 processors (me = 0..3)
+
+! layout G: CYCLIC(32) anchored at 1
+subroutine phase_RED(me)
+  do i_blk = 1 + me*16, -1 + N, NPROC*16   ! CYCLIC(16) chunks of mine
+  do i = i_blk, min(i_blk + 15, -1 + N)
+    G(2*i) = G(-1 + 2*i) + G(1 + 2*i)
+    
+  end do
+  end do
+  
+end subroutine
+
+subroutine phase_BLACK(me)
+  do i_blk = 0 + me*16, -2 + N, NPROC*16   ! CYCLIC(16) chunks of mine
+  do i = i_blk, min(i_blk + 15, -2 + N)
+    G(1 + 2*i) = G(2*i) + G(2 + 2*i)
+    
+  end do
+  end do
+  
+end subroutine
+
+|golden});
+    ("trisolve", {golden|! SPMD code generated from the LCG-derived distribution
+! program trisolve on 4 processors (me = 0..3)
+
+! layout L: CYCLIC(64) anchored at 0
+! layout X: CYCLIC(4) anchored at 0
+! layout Y: CYCLIC(64) anchored at 0
+subroutine phase_SOLVE(me)
+  do j_blk = 0 + me*1, -1 + N, NPROC*1   ! CYCLIC(1) chunks of mine
+  do j = j_blk, min(j_blk + 0, -1 + N)
+    do r = 0, j
+      Y(N*j + r) = L(N*j + r) + X(r)
+      
+    end do
+    
+  end do
+  end do
+  
+end subroutine
+
+! layout Y: CYCLIC(64) anchored at 0
+subroutine phase_REDUCE(me)
+  do j_blk = 0 + me*1, -1 + N, NPROC*1   ! CYCLIC(1) chunks of mine
+  do j = j_blk, min(j_blk + 0, -1 + N)
+    do r = 0, j
+      ... = Y(N*j + r)
+      
+    end do
+    
+  end do
+  end do
+  
+end subroutine
+
+|golden});
+    ("mgrid", {golden|! SPMD code generated from the LCG-derived distribution
+! program mgrid on 4 processors (me = 0..3)
+
+! layout FINE: CYCLIC(64) anchored at 1
+! layout FTMP: CYCLIC(64) anchored at 1
+! layout COARSE: CYCLIC(32) anchored at 1
+! layout CTMP: CYCLIC(32) anchored at 1
+subroutine phase_SMOOTHF(me)
+  do i_blk = 1 + me*64, -2 + 2*N, NPROC*64   ! CYCLIC(64) chunks of mine
+  do i = i_blk, min(i_blk + 63, -2 + 2*N)
+    FTMP(i) = FINE(-1 + i) + FINE(i) + FINE(1 + i)
+    
+  end do
+  end do
+  
+end subroutine
+
+subroutine phase_RESTRICT(me)
+  do i_blk = 1 + me*32, -2 + N, NPROC*32   ! CYCLIC(32) chunks of mine
+  do i = i_blk, min(i_blk + 31, -2 + N)
+    COARSE(i) = FTMP(-1 + 2*i) + FTMP(2*i) + FTMP(1 + 2*i)
+    
+  end do
+  end do
+  
+end subroutine
+
+subroutine phase_SMOOTHC(me)
+  do i_blk = 1 + me*32, -2 + N, NPROC*32   ! CYCLIC(32) chunks of mine
+  do i = i_blk, min(i_blk + 31, -2 + N)
+    CTMP(i) = COARSE(-1 + i) + COARSE(i) + COARSE(1 + i)
+    
+  end do
+  end do
+  
+end subroutine
+
+subroutine phase_PROLONG(me)
+  do i_blk = 1 + me*32, -2 + N, NPROC*32   ! CYCLIC(32) chunks of mine
+  do i = i_blk, min(i_blk + 31, -2 + N)
+    FINE(2*i) = CTMP(i) + CTMP(1 + i) + FTMP(2*i) + FTMP(1 + 2*i)
+    FINE(1 + 2*i) = CTMP(i) + CTMP(1 + i) + FTMP(2*i) + FTMP(1 + 2*i)
+    
+  end do
+  end do
+  
+end subroutine
+
+|golden});
+  ]
+
+let update_mode = Sys.getenv_opt "GOLDEN_UPDATE" = Some "1"
+
+let emit_update () =
+  List.iter
+    (fun (e : Codes.Registry.entry) ->
+      Printf.printf "    (\"%s\", {golden|%s|golden});\n" e.name
+        (snapshot e.name))
+    Codes.Registry.all
+
+let test_kernel name () =
+  let expected =
+    match List.assoc_opt name golden with
+    | Some s -> s
+    | None -> Alcotest.failf "no golden snapshot for %s" name
+  in
+  Alcotest.(check string) (name ^ " SPMD prose matches golden") expected
+    (snapshot name)
+
+let () =
+  if update_mode then emit_update ()
+  else
+    Alcotest.run "golden-spmd"
+      [
+        ( "spmd",
+          List.map
+            (fun (e : Codes.Registry.entry) ->
+              Alcotest.test_case e.name `Quick (test_kernel e.name))
+            Codes.Registry.all );
+      ]
